@@ -1,0 +1,15 @@
+"""Section 4.1 (text) — carrying capacity of the always-on paths versus OSPF-InvCap."""
+
+from repro.experiments import run_always_on_capacity
+
+
+def test_always_on_capacity_fraction(benchmark, run_once):
+    result = run_once(run_always_on_capacity)
+    benchmark.extra_info["always_on_max_gbps"] = round(result.always_on_max_bps / 1e9, 3)
+    benchmark.extra_info["ospf_max_gbps"] = round(result.ospf_max_bps / 1e9, 3)
+    benchmark.extra_info["capacity_fraction"] = round(result.capacity_fraction, 2)
+    # Paper: the always-on paths alone accommodate about 50% of the volume the
+    # OSPF paths can carry (they trade capacity for power).
+    assert result.always_on_max_bps > 0
+    assert result.ospf_max_bps > 0
+    assert 0.2 <= result.capacity_fraction <= 1.0

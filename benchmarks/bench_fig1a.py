@@ -1,0 +1,18 @@
+"""Figure 1a — CCDF of 5-minute traffic change in the Google-like datacenter trace."""
+
+
+
+from repro.experiments import run_fig1a
+
+
+def test_fig1a_traffic_deviation(benchmark, run_once):
+    result = run_once(run_fig1a)
+    benchmark.extra_info["fraction_changing_>=20%"] = round(
+        result.fraction_at_least_20_percent, 3
+    )
+    benchmark.extra_info["median_change_percent"] = round(result.median_change_percent, 1)
+    rows = dict(result.rows())
+    benchmark.extra_info["ccdf_at_20%"] = round(rows[20.0], 1)
+    benchmark.extra_info["ccdf_at_50%"] = round(rows[50.0], 1)
+    # Paper: "in almost 50% cases the traffic changes at least by 20%".
+    assert 0.3 <= result.fraction_at_least_20_percent <= 0.75

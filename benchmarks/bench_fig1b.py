@@ -1,0 +1,16 @@
+"""Figure 1b — recomputation rate of state-of-the-art approaches on the GÉANT replay."""
+
+
+
+from repro.experiments import run_fig1b
+
+
+def test_fig1b_recomputation_rate(benchmark, run_once):
+    result = run_once(run_fig1b, num_days=3)
+    benchmark.extra_info["max_recomputations_per_hour"] = result.max_rate_per_hour
+    benchmark.extra_info["mean_recomputations_per_hour"] = round(result.mean_rate_per_hour, 2)
+    benchmark.extra_info["trace_upper_bound_per_hour"] = result.series.upper_bound_per_hour
+    benchmark.extra_info["interval_change_fraction"] = round(result.series.change_fraction, 2)
+    # Paper: the rate reaches the trace-granularity bound of 4/hour.
+    assert result.series.upper_bound_per_hour == 4.0
+    assert 0.0 < result.max_rate_per_hour <= 4.0

@@ -1,0 +1,18 @@
+"""Figure 2a — routing-configuration dominance on the GÉANT replay."""
+
+
+
+from repro.experiments import run_fig2a
+
+
+def test_fig2a_configuration_dominance(benchmark, run_once):
+    result = run_once(run_fig2a, num_days=3)
+    benchmark.extra_info["dominant_configuration_fraction"] = round(result.dominant_fraction, 2)
+    benchmark.extra_info["distinct_configurations"] = result.num_configurations
+    benchmark.extra_info["configurations_for_95%_of_time"] = (
+        result.dominance.configurations_for_coverage(0.95)
+    )
+    # Paper: one configuration dominates (~60% of the time) but many distinct
+    # configurations appear overall — too many to pre-install.
+    assert result.dominant_fraction >= 0.3
+    assert result.num_configurations > 3

@@ -1,0 +1,18 @@
+"""Figure 2b — traffic coverage of the top-X energy-critical paths per node pair."""
+
+
+
+from repro.experiments import run_fig2b
+
+
+def test_fig2b_energy_critical_path_coverage(benchmark, run_once):
+    result = run_once(run_fig2b)
+    for network, curve in result.coverage.items():
+        for paths, fraction in enumerate(curve, start=1):
+            benchmark.extra_info[f"{network}_coverage_{paths}_paths"] = round(fraction, 3)
+    benchmark.extra_info["geant_paths_for_98%"] = result.paths_for_98_percent["geant"]
+    benchmark.extra_info["fattree_paths_for_98%"] = result.paths_for_98_percent["fattree"]
+    # Paper: 2 paths cover ~98% on GÉANT (3 cover all); the fat-tree needs more.
+    assert result.coverage["geant"][1] >= 0.9
+    assert result.paths_for_98_percent["geant"] <= 3
+    assert result.paths_for_98_percent["fattree"] >= result.paths_for_98_percent["geant"]

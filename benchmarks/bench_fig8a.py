@@ -1,0 +1,17 @@
+"""Figure 8a — ns-2-style simulation of the PoP-access ISP topology."""
+
+from repro.experiments import run_fig8a
+
+
+def test_fig8a_pop_access_simulation(benchmark, run_once):
+    result = run_once(run_fig8a)
+    benchmark.extra_info["wake_stall_s"] = round(result.wake_stall_s, 2)
+    benchmark.extra_info["final_demand_gbps"] = round(result.demand_bps[-1] / 1e9, 2)
+    benchmark.extra_info["final_rate_gbps"] = round(result.sending_rate_bps[-1] / 1e9, 2)
+    benchmark.extra_info["min_power_%"] = round(min(result.power_percent), 1)
+    benchmark.extra_info["max_power_%"] = round(max(result.power_percent), 1)
+    # Paper: sending rates track the demand within a few RTTs (plus one
+    # wake-up delay), while the network power stays well below the original.
+    assert abs(result.sending_rate_bps[-1] - result.demand_bps[-1]) <= 0.15 * result.demand_bps[-1]
+    assert max(result.power_percent) < 95.0
+    assert min(result.power_percent) < 70.0

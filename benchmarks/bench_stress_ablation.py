@@ -1,0 +1,16 @@
+"""Section 4.2 (ablation) — sensitivity to the stress-factor exclusion fraction."""
+
+from repro.experiments import run_stress_ablation
+
+
+def test_stress_exclusion_ablation(benchmark, run_once):
+    result = run_once(run_stress_ablation)
+    for fraction, absorbed in result.rows():
+        benchmark.extra_info[f"exclude_{int(fraction * 100)}%_absorbs_x_peak"] = round(absorbed, 2)
+    benchmark.extra_info["best_fraction"] = result.best_fraction()
+    # Paper: excluding 20% of the most-stressed links is sufficient for the
+    # always-on plus on-demand paths to accommodate peak-hour demands.
+    assert result.absorbs_peak(0.2)
+    # More exclusion never reduces the absorbable load by much (monotone-ish).
+    absorbed = dict(result.rows())
+    assert absorbed[0.4] >= absorbed[0.0] - 0.1

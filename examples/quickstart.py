@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: compute a REsPoNse plan and measure the energy savings.
+
+This example walks through the whole public API in a few lines:
+
+1. build an evaluation topology (the GÉANT-like pan-European network),
+2. pick a power model and a set of origin-destination pairs,
+3. compute the REsPoNse plan (always-on, on-demand and failover paths),
+4. place a gravity-model demand on the installed paths with the activation
+   planner, and
+5. report the power drawn versus the fully powered network.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CiscoRouterPowerModel,
+    ResponseConfig,
+    activate_paths,
+    build_response_plan,
+    full_power,
+)
+from repro.topology import build_geant
+from repro.traffic import gravity_matrix, select_pairs_among_subset
+from repro.units import gbps, to_gbps
+
+
+def main() -> None:
+    topology = build_geant()
+    power_model = CiscoRouterPowerModel()
+    baseline = full_power(topology, power_model).total_w
+    print(f"Topology: {topology.name} — {topology.num_nodes} PoPs, "
+          f"{topology.num_links} links, {baseline / 1e3:.1f} kW fully powered")
+
+    # The paper selects random subsets of origins and destinations.
+    pairs = select_pairs_among_subset(topology.routers(), num_endpoints=16, num_pairs=80, seed=1)
+    print(f"Installing paths for {len(pairs)} origin-destination pairs")
+
+    # Off-line computation of the three path sets (Section 4 of the paper).
+    plan = build_response_plan(
+        topology,
+        power_model,
+        pairs=pairs,
+        config=ResponseConfig(num_paths=3, k=3),
+    )
+    summary = plan.summary()
+    print(f"Plan: {summary['num_on_demand_tables']} on-demand table(s), "
+          f"always-on subset = {summary['always_on_nodes']} nodes / "
+          f"{summary['always_on_links']} links")
+
+    # Replay three demand levels through the online activation logic.
+    for total in (gbps(2), gbps(10), gbps(40)):
+        demands = gravity_matrix(topology, total_traffic_bps=total, pairs=pairs)
+        result = activate_paths(topology, power_model, plan, demands)
+        print(
+            f"demand {to_gbps(total):5.1f} Gb/s -> power {result.power_percent:5.1f}% "
+            f"of original ({result.energy_savings_percent():4.1f}% savings), "
+            f"{result.num_on_demand_pairs} pair(s) on on-demand paths, "
+            f"max link utilisation {result.max_utilisation:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on machines without the ``wheel``
+package (offline environments), where pip falls back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Trace analyses and evaluation metrics (Section 3 and Section 5 support)."""
+
+from .deviation import change_ccdf, fraction_changing_at_least, median_change
+from .dominance import DominanceResult, configuration_dominance
+from .metrics import (
+    LatencyStretch,
+    hop_count_distribution,
+    latency_stretch,
+    percentile_summary,
+    power_percent_of_original,
+    savings_percent,
+)
+from .recomputation import (
+    RecomputationSeries,
+    configuration_changes,
+    recomputation_rate,
+)
+
+__all__ = [
+    "change_ccdf",
+    "fraction_changing_at_least",
+    "median_change",
+    "DominanceResult",
+    "configuration_dominance",
+    "LatencyStretch",
+    "hop_count_distribution",
+    "latency_stretch",
+    "percentile_summary",
+    "power_percent_of_original",
+    "savings_percent",
+    "RecomputationSeries",
+    "configuration_changes",
+    "recomputation_rate",
+]

@@ -1,0 +1,101 @@
+"""Recomputation-rate analysis (Figure 1b).
+
+The paper introduces the *recomputation rate* metric: how often an
+energy-aware routing approach must recompute and redeploy its routing tables
+because the minimal active subset changed between consecutive intervals of a
+demand trace.  On the GÉANT trace the rate reaches the trace-granularity
+upper bound of four recomputations per hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TrafficError
+from ..routing.paths import RoutingConfiguration
+from ..units import HOUR
+
+
+@dataclass(frozen=True)
+class RecomputationSeries:
+    """Recomputation counts aggregated per hour.
+
+    Attributes:
+        hour_start_s: Start time (seconds since trace start) of each hour bin.
+        recomputations_per_hour: Number of configuration changes in that hour.
+        total_changes: Total number of changes over the trace.
+        change_fraction: Fraction of interval transitions that changed the
+            configuration.
+        upper_bound_per_hour: The trace-granularity upper bound
+            (``3600 / interval``).
+    """
+
+    hour_start_s: List[float]
+    recomputations_per_hour: List[float]
+    total_changes: int
+    change_fraction: float
+    upper_bound_per_hour: float
+
+    @property
+    def mean_rate_per_hour(self) -> float:
+        """Average recomputation rate over the trace."""
+        if not self.recomputations_per_hour:
+            return 0.0
+        return float(np.mean(self.recomputations_per_hour))
+
+    @property
+    def max_rate_per_hour(self) -> float:
+        """Peak recomputation rate over the trace."""
+        if not self.recomputations_per_hour:
+            return 0.0
+        return float(np.max(self.recomputations_per_hour))
+
+
+def configuration_changes(configurations: Sequence[RoutingConfiguration]) -> List[bool]:
+    """Whether each interval transition changed the active-element set."""
+    if len(configurations) < 2:
+        return []
+    return [
+        configurations[index] != configurations[index - 1]
+        for index in range(1, len(configurations))
+    ]
+
+
+def recomputation_rate(
+    configurations: Sequence[RoutingConfiguration],
+    interval_s: float,
+) -> RecomputationSeries:
+    """Compute the per-hour recomputation rate of a configuration sequence.
+
+    Args:
+        configurations: The active-element configuration computed for each
+            trace interval (e.g. by re-running the optimisation per interval).
+        interval_s: Trace measurement interval in seconds.
+
+    Returns:
+        A :class:`RecomputationSeries` with one value per hour of the trace.
+    """
+    if interval_s <= 0:
+        raise TrafficError(f"interval must be positive, got {interval_s}")
+    changes = configuration_changes(configurations)
+    intervals_per_hour = max(1, int(round(HOUR / interval_s)))
+
+    per_hour: List[float] = []
+    hour_starts: List[float] = []
+    for start in range(0, len(changes), intervals_per_hour):
+        window = changes[start : start + intervals_per_hour]
+        per_hour.append(float(sum(window)))
+        hour_starts.append(start * interval_s)
+
+    total = int(sum(changes))
+    fraction = total / len(changes) if changes else 0.0
+    return RecomputationSeries(
+        hour_start_s=hour_starts,
+        recomputations_per_hour=per_hour,
+        total_changes=total,
+        change_fraction=fraction,
+        upper_bound_per_hour=HOUR / interval_s,
+    )

@@ -1,0 +1,22 @@
+"""Application workloads run over REsPoNse-chosen paths (Section 5.4)."""
+
+from .streaming import (
+    DEFAULT_STREAM_RATE_BPS,
+    StreamingConfig,
+    StreamingResult,
+    pick_client_nodes,
+    run_streaming_workload,
+)
+from .web import WebConfig, WebResult, run_web_workload, specweb_file_sizes
+
+__all__ = [
+    "DEFAULT_STREAM_RATE_BPS",
+    "StreamingConfig",
+    "StreamingResult",
+    "pick_client_nodes",
+    "run_streaming_workload",
+    "WebConfig",
+    "WebResult",
+    "run_web_workload",
+    "specweb_file_sizes",
+]

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: the REsPoNse framework.
+
+Off-line path computation (always-on, on-demand, failover), energy-critical
+path identification, the trace-replay activation planner and the REsPoNseTE
+online controller.
+"""
+
+from .always_on import AlwaysOnConfig, compute_always_on
+from .critical_paths import (
+    RankedPath,
+    coverage_curve,
+    paths_needed_for_coverage,
+    rank_paths_by_traffic,
+    routing_tables_from_critical_paths,
+    select_energy_critical_paths,
+)
+from .failover import compute_failover, survives_single_failure, vulnerable_pairs
+from .on_demand import ON_DEMAND_METHODS, OnDemandConfig, compute_on_demand
+from .plan import ResponsePlan
+from .planner import (
+    DEFAULT_UTILISATION_THRESHOLD,
+    ActivationResult,
+    activate_paths,
+    replay_trace,
+)
+from .response import RESPONSE_VARIANTS, ResponseConfig, build_response_plan
+from .stress import (
+    DEFAULT_EXCLUDE_FRACTION,
+    most_stressed_links,
+    stress_factors,
+    stressed_links_for_routing,
+)
+from .te import ResponseTEController, TEConfig
+
+__all__ = [
+    "AlwaysOnConfig",
+    "compute_always_on",
+    "RankedPath",
+    "coverage_curve",
+    "paths_needed_for_coverage",
+    "rank_paths_by_traffic",
+    "routing_tables_from_critical_paths",
+    "select_energy_critical_paths",
+    "compute_failover",
+    "survives_single_failure",
+    "vulnerable_pairs",
+    "ON_DEMAND_METHODS",
+    "OnDemandConfig",
+    "compute_on_demand",
+    "ResponsePlan",
+    "DEFAULT_UTILISATION_THRESHOLD",
+    "ActivationResult",
+    "activate_paths",
+    "replay_trace",
+    "RESPONSE_VARIANTS",
+    "ResponseConfig",
+    "build_response_plan",
+    "DEFAULT_EXCLUDE_FRACTION",
+    "most_stressed_links",
+    "stress_factors",
+    "stressed_links_for_routing",
+    "ResponseTEController",
+    "TEConfig",
+]

@@ -1,0 +1,128 @@
+"""Computation of the always-on paths (Section 4.1).
+
+"The goal of the always-on paths is to provide a routing that can carry low
+to medium amounts of traffic at the lowest power consumption."  They are
+obtained by solving the energy-minimisation problem with either
+
+* the off-peak traffic matrix estimate ``d_low`` as the demand, or
+* (demand-oblivious) every flow set to a tiny ε such as 1 bit/s, which yields
+  a minimal-power routing with full connectivity.
+
+The *REsPoNse-lat* variant adds constraint (4): every always-on path's
+propagation delay must stay within ``(1 + β)`` of the OSPF-InvCap delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..optim.greedy import greedy_minimum_subset
+from ..optim.pathmilp import PathMilpConfig, solve_path_milp
+from ..optim.solution import EnergyAwareSolution
+from ..power.model import PowerModel
+from ..routing.ospf import ospf_delays
+from ..topology.base import Topology
+from ..traffic.matrix import Pair, TrafficMatrix, all_pairs
+
+#: Default ε demand used for the demand-oblivious computation (1 bit/s).
+DEFAULT_EPSILON_BPS = 1.0
+
+
+@dataclass
+class AlwaysOnConfig:
+    """Configuration of the always-on path computation.
+
+    Attributes:
+        method: ``"milp"`` (path-restricted MILP, default) or ``"greedy"``
+            (Chiaraviglio-style subset followed by shortest-path routing).
+        k: Candidate paths per pair for the MILP.
+        latency_beta: When not ``None``, enforce the REsPoNse-lat constraint
+            ``delay <= (1 + beta) * delay_OSPF`` for every pair.
+        utilisation_limit: Safety margin ``sm`` applied to link capacities.
+        epsilon_bps: ε demand used when no off-peak matrix is supplied.
+        time_limit_s: Solver time limit.
+    """
+
+    method: str = "milp"
+    k: int = 3
+    latency_beta: Optional[float] = None
+    utilisation_limit: float = 1.0
+    epsilon_bps: float = DEFAULT_EPSILON_BPS
+    time_limit_s: Optional[float] = 60.0
+
+    def __post_init__(self) -> None:
+        if self.method not in ("milp", "greedy"):
+            raise ConfigurationError(f"unknown always-on method: {self.method!r}")
+        if self.latency_beta is not None and self.latency_beta < 0:
+            raise ConfigurationError(
+                f"latency_beta must be non-negative, got {self.latency_beta}"
+            )
+
+
+def compute_always_on(
+    topology: Topology,
+    power_model: PowerModel,
+    pairs: Optional[Iterable[Pair]] = None,
+    offpeak_matrix: Optional[TrafficMatrix] = None,
+    config: Optional[AlwaysOnConfig] = None,
+) -> EnergyAwareSolution:
+    """Compute the always-on paths and the elements they keep active.
+
+    Args:
+        topology: The physical topology.
+        power_model: Power coefficients minimised by the computation.
+        pairs: Origin-destination pairs requiring connectivity; defaults to
+            all ordered pairs of non-host nodes.
+        offpeak_matrix: Off-peak traffic estimate ``d_low``; when omitted the
+            demand-oblivious ε formulation is used.
+        config: Tuning knobs; defaults to :class:`AlwaysOnConfig`.
+
+    Returns:
+        An :class:`EnergyAwareSolution` whose routing table holds the
+        always-on path of every pair.
+    """
+    cfg = config or AlwaysOnConfig()
+    selected: List[Pair] = list(pairs) if pairs is not None else all_pairs(topology.routers())
+    if offpeak_matrix is not None:
+        demands = offpeak_matrix.restricted_to(selected) if pairs is not None else offpeak_matrix
+        # Pairs present in the selection but absent from the estimate still
+        # need connectivity: give them the ε demand.
+        missing = [pair for pair in selected if pair not in demands]
+        if missing:
+            demands = demands.merged_with(TrafficMatrix.epsilon(missing, cfg.epsilon_bps))
+    else:
+        demands = TrafficMatrix.epsilon(selected, cfg.epsilon_bps, name="always-on-epsilon")
+
+    latency_bound: Optional[Dict[Pair, float]] = None
+    if cfg.latency_beta is not None:
+        reference = ospf_delays(topology, pairs=selected)
+        latency_bound = {
+            pair: (1.0 + cfg.latency_beta) * delay for pair, delay in reference.items()
+        }
+
+    if cfg.method == "greedy":
+        solution = greedy_minimum_subset(
+            topology,
+            power_model,
+            demands,
+            utilisation_limit=cfg.utilisation_limit,
+        )
+        solution.solver = "always-on-greedy"
+        return solution
+
+    milp_config = PathMilpConfig(
+        k=cfg.k,
+        utilisation_limit=cfg.utilisation_limit,
+        time_limit_s=cfg.time_limit_s,
+    )
+    solution = solve_path_milp(
+        topology,
+        power_model,
+        demands,
+        config=milp_config,
+        latency_bound=latency_bound,
+        solver_name="always-on-lat" if cfg.latency_beta is not None else "always-on",
+    )
+    return solution

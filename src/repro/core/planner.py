@@ -1,0 +1,215 @@
+"""Offline path activation: which installed paths carry a given demand.
+
+Trace-replay experiments (Figures 4, 5, 6 of the paper) need, for every
+traffic matrix of a trace, the network state REsPoNseTE would converge to:
+traffic aggregated onto the always-on paths while the utilisation SLO holds,
+on-demand paths (and their elements) activated only for the pairs that need
+them.  :func:`activate_paths` computes exactly that steady state without
+simulating the control loop (the control loop itself lives in
+:mod:`repro.core.te` and runs on the flow-level simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import ConfigurationError
+from ..power.accounting import full_power, network_power
+from ..power.model import PowerModel
+from ..routing.paths import Path, RoutingTable
+from ..topology.base import Topology
+from ..traffic.matrix import Pair, TrafficMatrix
+from .plan import ResponsePlan
+
+#: Default utilisation threshold at which on-demand paths start activating.
+DEFAULT_UTILISATION_THRESHOLD = 0.9
+
+
+@dataclass
+class ActivationResult:
+    """Steady-state outcome of placing one traffic matrix on a plan.
+
+    Attributes:
+        assignment: Chosen table index per pair (0 = always-on, then the
+            on-demand tables in order, then failover if allowed).
+        active_nodes: Powered-on nodes (always-on elements plus elements of
+            activated on-demand paths).
+        active_links: Active undirected links.
+        power_w: Power of the active subset.
+        power_percent: Power as a percentage of the fully-powered network.
+        max_utilisation: Largest arc utilisation of the placement.
+        overloaded_pairs: Pairs whose demand could not be placed within the
+            utilisation threshold on any installed path (they are placed on
+            their least-loaded path instead).
+    """
+
+    assignment: Dict[Pair, int]
+    active_nodes: Set[str]
+    active_links: Set[Tuple[str, str]]
+    power_w: float
+    power_percent: float
+    max_utilisation: float
+    overloaded_pairs: List[Pair] = field(default_factory=list)
+
+    @property
+    def num_on_demand_pairs(self) -> int:
+        """Number of pairs routed over a non-always-on path."""
+        return sum(1 for index in self.assignment.values() if index > 0)
+
+    def energy_savings_percent(self) -> float:
+        """Savings relative to the fully powered network."""
+        return 100.0 - self.power_percent
+
+
+def activate_paths(
+    topology: Topology,
+    power_model: PowerModel,
+    plan: ResponsePlan,
+    demands: TrafficMatrix,
+    utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD,
+    include_failover: bool = False,
+    failed_links: Optional[Set[Tuple[str, str]]] = None,
+) -> ActivationResult:
+    """Place a traffic matrix on the plan's installed paths.
+
+    Pairs are placed in descending order of demand.  Each pair uses the first
+    installed path (always-on first, then the on-demand tables in order, then
+    optionally failover) whose arcs all stay below the utilisation threshold
+    after adding the pair's demand; if no installed path fits, the pair is
+    placed on the installed path with the most residual bottleneck capacity
+    and recorded in ``overloaded_pairs``.
+
+    Args:
+        topology: The physical topology.
+        power_model: Power model for the resulting active subset.
+        plan: The REsPoNse plan.
+        demands: The traffic matrix to place.
+        utilisation_threshold: The ISP's link-utilisation SLO (the paper's
+            threshold that triggers on-demand activation).
+        include_failover: Allow traffic on failover paths even without
+            failures (normally only used when a failure is present).
+        failed_links: Undirected links currently failed; installed paths
+            crossing them are unusable.
+
+    Returns:
+        The :class:`ActivationResult` describing the converged network state.
+    """
+    if not 0.0 < utilisation_threshold <= 1.0:
+        raise ConfigurationError(
+            f"utilisation_threshold must be in (0, 1], got {utilisation_threshold}"
+        )
+    tables = plan.tables(include_failover=include_failover)
+    failed = failed_links or set()
+
+    loads: Dict[Tuple[str, str], float] = {key: 0.0 for key in topology.arc_keys()}
+    assignment: Dict[Pair, int] = {}
+    overloaded: List[Pair] = []
+
+    def usable(path: Path) -> bool:
+        return not any(key in failed for key in path.link_keys())
+
+    def fits(path: Path, demand: float) -> bool:
+        for src, dst in path.arc_keys():
+            capacity = topology.arc(src, dst).capacity_bps
+            if loads[(src, dst)] + demand > capacity * utilisation_threshold + 1e-9:
+                return False
+        return True
+
+    def add_load(path: Path, demand: float) -> None:
+        for arc_key in path.arc_keys():
+            loads[arc_key] += demand
+
+    ordered_pairs = sorted(
+        (pair for pair in demands.pairs() if demands[pair] > 0.0),
+        key=lambda pair: demands[pair],
+        reverse=True,
+    )
+    for pair in ordered_pairs:
+        demand = demands[pair]
+        candidates: List[Tuple[int, Path]] = []
+        for table_index, table in enumerate(tables):
+            path = table.get(*pair)
+            if path is not None and usable(path):
+                candidates.append((table_index, path))
+        if not candidates:
+            overloaded.append(pair)
+            continue
+        placed = False
+        for table_index, path in candidates:
+            if fits(path, demand):
+                assignment[pair] = table_index
+                add_load(path, demand)
+                placed = True
+                break
+        if not placed:
+            # No installed path respects the SLO: fall back to the path with
+            # the most remaining bottleneck capacity (congestion, not loss of
+            # connectivity — matching the paper's "no worse than existing
+            # approaches under unexpected peaks").
+            def residual(entry: Tuple[int, Path]) -> float:
+                _, path = entry
+                return min(
+                    topology.arc(src, dst).capacity_bps - loads[(src, dst)]
+                    for src, dst in path.arc_keys()
+                )
+
+            table_index, path = max(candidates, key=residual)
+            assignment[pair] = table_index
+            add_load(path, demand)
+            overloaded.append(pair)
+
+    # Elements kept active: the always-on elements are on by definition;
+    # elements of on-demand/failover paths are only awake for pairs that use
+    # them.
+    active_nodes, active_links = plan.always_on_elements()
+    active_nodes = set(active_nodes)
+    active_links = set(active_links)
+    for pair, table_index in assignment.items():
+        if table_index == 0:
+            continue
+        path = tables[table_index].get(*pair)
+        if path is None:
+            continue
+        active_nodes.update(path.nodes)
+        active_links.update(path.link_keys())
+    active_links -= failed
+
+    breakdown = network_power(topology, power_model, active_nodes, active_links)
+    baseline = full_power(topology, power_model).total_w
+    max_utilisation = 0.0
+    for (src, dst), load in loads.items():
+        if load <= 0.0:
+            continue
+        utilisation = load / topology.arc(src, dst).capacity_bps
+        max_utilisation = max(max_utilisation, utilisation)
+
+    return ActivationResult(
+        assignment=assignment,
+        active_nodes=active_nodes,
+        active_links=active_links,
+        power_w=breakdown.total_w,
+        power_percent=100.0 * breakdown.total_w / baseline if baseline > 0 else 0.0,
+        max_utilisation=max_utilisation,
+        overloaded_pairs=overloaded,
+    )
+
+
+def replay_trace(
+    topology: Topology,
+    power_model: PowerModel,
+    plan: ResponsePlan,
+    matrices: List[TrafficMatrix],
+    utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD,
+) -> List[ActivationResult]:
+    """Activate the plan for every matrix of a trace (Figure 5-style replay)."""
+    return [
+        activate_paths(
+            topology,
+            power_model,
+            plan,
+            matrix,
+            utilisation_threshold=utilisation_threshold,
+        )
+        for matrix in matrices
+    ]

@@ -1,0 +1,340 @@
+"""REsPoNseTE: the simple, scalable online traffic-engineering component.
+
+Section 4.4: "the intermediate routers periodically report the link
+utilization, while the edge routers (called agents), based on the reported
+information, shift the traffic in a way that preserves network performance
+and simultaneously minimizes energy".  Agents
+
+* aggregate traffic on the always-on paths as long as the target SLO
+  (a link-utilisation threshold) is achieved,
+* activate on-demand paths — waking their sleeping elements — when it is not,
+* fall back to failover (or any other usable installed) paths when a link on
+  the current path fails,
+* only need utilisation information for the paths they originate, collected
+  every ``T`` seconds where ``T`` defaults to the maximum network RTT.
+
+Stability follows the TeXCP recipe the paper cites: decisions are made only
+at probe epochs, shifts use hysteresis (a lower deactivation threshold), and
+a flow moves at most once per probe period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import ConfigurationError
+from ..routing.paths import Path
+from ..simulator.flows import Flow
+from ..simulator.links import LinkState
+from ..simulator.network import SimulatedNetwork
+from .plan import ResponsePlan
+
+
+@dataclass
+class TEConfig:
+    """Tuning knobs of the online controller.
+
+    Attributes:
+        utilisation_threshold: SLO above which on-demand paths are activated.
+        release_threshold: Hysteresis: traffic returns to the always-on path
+            only when its utilisation falls below this value.
+        probe_interval_s: Probe period ``T``; ``None`` uses the network's
+            maximum RTT (the paper's default).
+        failure_detection_delay_s: Time before an agent learns that a link on
+            one of its paths failed (detection plus propagation to sources).
+        allow_failover_for_load: Whether load (not only failures) may spill
+            onto the failover table.
+        start_time_s: Simulation time at which REsPoNseTE starts operating
+            (the Click experiment starts it at t = 5 s); before that the
+            controller neither shifts traffic nor puts links to sleep.
+        initial_table_index: Table the flows start on before the controller's
+            first probe (0 = always-on; the Click experiment starts with
+            traffic spread on the on-demand paths).
+    """
+
+    utilisation_threshold: float = 0.9
+    release_threshold: float = 0.5
+    probe_interval_s: Optional[float] = None
+    failure_detection_delay_s: float = 0.1
+    allow_failover_for_load: bool = False
+    start_time_s: float = 0.0
+    initial_table_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilisation_threshold <= 1.0:
+            raise ConfigurationError(
+                f"utilisation_threshold must be in (0, 1], got {self.utilisation_threshold}"
+            )
+        if not 0.0 <= self.release_threshold <= self.utilisation_threshold:
+            raise ConfigurationError(
+                "release_threshold must lie in [0, utilisation_threshold], "
+                f"got {self.release_threshold}"
+            )
+
+
+class ResponseTEController:
+    """The online TE controller driven by the simulation engine."""
+
+    def __init__(self, plan: ResponsePlan, config: Optional[TEConfig] = None) -> None:
+        self.plan = plan
+        self.config = config or TEConfig()
+        self._tables = plan.tables(include_failover=True)
+        self._num_load_tables = len(plan.tables(include_failover=self.config.allow_failover_for_load))
+        self._assignment: Dict[str, int] = {}
+        self._pending: Dict[str, Tuple[int, Path]] = {}
+        self._failure_noticed_at: Dict[str, float] = {}
+        self._next_probe_at = 0.0
+        self._probe_interval = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Controller interface
+    # ------------------------------------------------------------------ #
+    def initialise(self, network: SimulatedNetwork, flows: List[Flow], now_s: float) -> None:
+        """Assign every flow to its always-on path and set the probe clock."""
+        self._probe_interval = (
+            self.config.probe_interval_s
+            if self.config.probe_interval_s is not None
+            else max(network.max_rtt(), 1e-3)
+        )
+        start = max(now_s, self.config.start_time_s)
+        self._next_probe_at = start + (
+            self._probe_interval if self.config.start_time_s > now_s else 0.0
+        )
+        for flow in flows:
+            preferred = self.config.initial_table_index
+            path = self._installed_path(flow, preferred)
+            assigned_index = preferred
+            if path is None:
+                # Fall back to the first table that knows the pair.
+                for table_index in range(len(self._tables)):
+                    path = self._installed_path(flow, table_index)
+                    if path is not None:
+                        assigned_index = table_index
+                        break
+            flow.path = path
+            self._assignment[flow.flow_id] = assigned_index
+        if now_s + 1e-12 >= self.config.start_time_s:
+            self._apply_sleep_policy(network, flows)
+
+    def control(self, network: SimulatedNetwork, flows: List[Flow], now_s: float) -> None:
+        """Per-step control hook: failure handling every step, load shifts at probes."""
+        if now_s + 1e-12 < self.config.start_time_s:
+            return
+        self._handle_failures(network, flows, now_s)
+        self._apply_pending(network, flows, now_s)
+        if now_s + 1e-12 >= self._next_probe_at:
+            self._probe_and_shift(network, flows, now_s)
+            self._next_probe_at = now_s + self._probe_interval
+        self._apply_sleep_policy(network, flows)
+
+    # ------------------------------------------------------------------ #
+    # Internal machinery
+    # ------------------------------------------------------------------ #
+    def _installed_path(self, flow: Flow, table_index: int) -> Optional[Path]:
+        if table_index >= len(self._tables):
+            return None
+        return self._tables[table_index].get(flow.origin, flow.destination)
+
+    def _usable_alternative(
+        self, network: SimulatedNetwork, flow: Flow, exclude_index: int
+    ) -> Optional[Tuple[int, Path]]:
+        """First installed path (any table) that avoids failed links."""
+        best_waking: Optional[Tuple[int, Path]] = None
+        for table_index in range(len(self._tables)):
+            if table_index == exclude_index:
+                continue
+            path = self._installed_path(flow, table_index)
+            if path is None or network.path_has_failure(path):
+                continue
+            if network.path_is_usable(path):
+                return table_index, path
+            if best_waking is None:
+                best_waking = (table_index, path)
+        return best_waking
+
+    def _handle_failures(
+        self, network: SimulatedNetwork, flows: List[Flow], now_s: float
+    ) -> None:
+        delay = self.config.failure_detection_delay_s
+        for flow in flows:
+            if flow.path is None:
+                continue
+            if not network.path_has_failure(flow.path):
+                self._failure_noticed_at.pop(flow.flow_id, None)
+                continue
+            noticed = self._failure_noticed_at.setdefault(flow.flow_id, now_s)
+            if now_s - noticed + 1e-12 < delay:
+                continue
+            current_index = self._assignment.get(flow.flow_id, 0)
+            alternative = self._usable_alternative(network, flow, current_index)
+            if alternative is None:
+                continue
+            table_index, path = alternative
+            network.request_wake(path.link_keys(), now_s)
+            flow.path = path
+            self._assignment[flow.flow_id] = table_index
+            self._pending.pop(flow.flow_id, None)
+            self._failure_noticed_at.pop(flow.flow_id, None)
+
+    def _apply_pending(
+        self, network: SimulatedNetwork, flows: List[Flow], now_s: float
+    ) -> None:
+        """Complete deferred shifts whose target path finished waking up."""
+        by_id = {flow.flow_id: flow for flow in flows}
+        for flow_id, (table_index, path) in list(self._pending.items()):
+            if network.path_is_usable(path):
+                flow = by_id.get(flow_id)
+                if flow is not None:
+                    flow.path = path
+                    self._assignment[flow_id] = table_index
+                del self._pending[flow_id]
+
+    def _probe_and_shift(
+        self, network: SimulatedNetwork, flows: List[Flow], now_s: float
+    ) -> None:
+        threshold = self.config.utilisation_threshold
+        release = self.config.release_threshold
+
+        # Work against a planned view of the arc loads so that several flows
+        # shifted within the same probe epoch see each other's moves — this is
+        # the stability ingredient (TeXCP-style) that prevents all flows of a
+        # hot link from stampeding to the same on-demand path and back.
+        planned: Dict[Tuple[str, str], float] = {
+            key: network.arc_load(*key) for key in network.topology.arc_keys()
+        }
+
+        def planned_utilisation(path: Path, extra_demand: float = 0.0) -> float:
+            worst = 0.0
+            for src, dst in path.arc_keys():
+                capacity = network.topology.arc(src, dst).capacity_bps
+                worst = max(worst, (planned[(src, dst)] + extra_demand) / capacity)
+            return worst
+
+        def move_load(path: Optional[Path], delta: float) -> None:
+            if path is None:
+                return
+            for arc in path.arc_keys():
+                planned[arc] = max(0.0, planned[arc] + delta)
+
+        for flow in flows:
+            current_index = self._assignment.get(flow.flow_id, 0)
+            always_on_path = self._installed_path(flow, 0)
+            if always_on_path is None:
+                continue
+            demand = flow.offered_load(now_s)
+            current_path = flow.path or always_on_path
+            utilisation = planned_utilisation(current_path)
+            starved = demand > 0 and flow.rate_bps < demand * 0.999
+
+            if current_index == 0:
+                if utilisation > threshold or (starved and utilisation >= threshold * 0.999):
+                    moved_to = self._activate_on_demand(network, flow, now_s, planned_utilisation)
+                    if moved_to is not None:
+                        move_load(current_path, -min(demand, flow.rate_bps or demand))
+                        move_load(moved_to, +demand)
+            else:
+                if network.path_has_failure(always_on_path):
+                    continue
+                # Consider releasing the on-demand path: would the always-on
+                # path absorb this flow without violating the SLO?
+                fits_back = (
+                    planned_utilisation(always_on_path, extra_demand=demand)
+                    <= release + 1e-9
+                )
+                if fits_back and network.path_is_usable(always_on_path):
+                    move_load(flow.path, -flow.rate_bps)
+                    move_load(always_on_path, +demand)
+                    flow.path = always_on_path
+                    self._assignment[flow.flow_id] = 0
+                    self._pending.pop(flow.flow_id, None)
+                elif starved and flow.flow_id not in self._pending:
+                    # The current on-demand path cannot serve the demand;
+                    # move to the least-loaded usable installed path instead.
+                    best = self._least_loaded_path(network, flow, planned_utilisation, demand)
+                    if best is not None:
+                        best_index, best_path = best
+                        if best_path is not flow.path:
+                            move_load(flow.path, -flow.rate_bps)
+                            move_load(best_path, +demand)
+                            if network.path_is_usable(best_path):
+                                flow.path = best_path
+                                self._assignment[flow.flow_id] = best_index
+                            else:
+                                network.request_wake(best_path.link_keys(), now_s)
+                                self._pending[flow.flow_id] = (best_index, best_path)
+
+    def _activate_on_demand(
+        self,
+        network: SimulatedNetwork,
+        flow: Flow,
+        now_s: float,
+        planned_utilisation,
+    ) -> Optional[Path]:
+        """Pick the least-loaded usable on-demand path; wake it if asleep.
+
+        Returns the path the flow was assigned or scheduled to move to, or
+        ``None`` when no on-demand alternative exists.
+        """
+        demand = flow.offered_load(now_s)
+        candidates: List[Tuple[float, int, Path]] = []
+        for table_index in range(1, self._num_load_tables):
+            path = self._installed_path(flow, table_index)
+            if path is None or network.path_has_failure(path):
+                continue
+            candidates.append((planned_utilisation(path, demand), table_index, path))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda entry: entry[0])
+        _utilisation, table_index, path = candidates[0]
+        if network.path_is_usable(path):
+            flow.path = path
+            self._assignment[flow.flow_id] = table_index
+            return path
+        network.request_wake(path.link_keys(), now_s)
+        self._pending[flow.flow_id] = (table_index, path)
+        return path
+
+    def _least_loaded_path(
+        self,
+        network: SimulatedNetwork,
+        flow: Flow,
+        planned_utilisation,
+        demand: float,
+    ) -> Optional[Tuple[int, Path]]:
+        """The installed path with the lowest planned utilisation after adding the flow."""
+        candidates: List[Tuple[float, int, Path]] = []
+        for table_index in range(self._num_load_tables):
+            path = self._installed_path(flow, table_index)
+            if path is None or network.path_has_failure(path):
+                continue
+            candidates.append((planned_utilisation(path, demand), table_index, path))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda entry: entry[0])
+        _utilisation, table_index, path = candidates[0]
+        return table_index, path
+
+    def _apply_sleep_policy(self, network: SimulatedNetwork, flows: List[Flow]) -> None:
+        """Let every link not needed by current paths or the always-on set sleep."""
+        keep: Set[Tuple[str, str]] = set()
+        _nodes, always_on_links = self.plan.always_on_elements()
+        keep.update(always_on_links)
+        for flow in flows:
+            if flow.path is not None:
+                keep.update(flow.path.link_keys())
+        for _flow_id, (_index, path) in self._pending.items():
+            keep.update(path.link_keys())
+        network.sleep_idle_links(keep)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by tests and experiments)
+    # ------------------------------------------------------------------ #
+    def table_index_of(self, flow: Flow) -> int:
+        """Which table the flow is currently using (0 = always-on)."""
+        return self._assignment.get(flow.flow_id, 0)
+
+    @property
+    def probe_interval_s(self) -> float:
+        """The probe period in effect after initialisation."""
+        return self._probe_interval

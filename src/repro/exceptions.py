@@ -1,0 +1,70 @@
+"""Exception hierarchy for the REsPoNse reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation referenced a missing element."""
+
+
+class UnknownNodeError(TopologyError):
+    """An operation referenced a node that is not part of the topology."""
+
+    def __init__(self, node: str) -> None:
+        super().__init__(f"unknown node: {node!r}")
+        self.node = node
+
+
+class UnknownArcError(TopologyError):
+    """An operation referenced a directed arc that does not exist."""
+
+    def __init__(self, src: str, dst: str) -> None:
+        super().__init__(f"unknown arc: {src!r} -> {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class DuplicateElementError(TopologyError):
+    """A node or link was added twice to a topology."""
+
+
+class TrafficError(ReproError):
+    """A traffic matrix or trace is malformed."""
+
+
+class RoutingError(ReproError):
+    """A routing table is invalid or a path could not be found."""
+
+
+class PathNotFoundError(RoutingError):
+    """No path exists between an origin and a destination."""
+
+    def __init__(self, origin: str, destination: str) -> None:
+        super().__init__(f"no path from {origin!r} to {destination!r}")
+        self.origin = origin
+        self.destination = destination
+
+
+class InfeasibleError(ReproError):
+    """An optimisation problem has no feasible solution for the given demand."""
+
+
+class SolverError(ReproError):
+    """The underlying solver failed for a reason other than infeasibility."""
+
+
+class SimulationError(ReproError):
+    """The flow-level simulator was driven into an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """A framework component received inconsistent configuration parameters."""

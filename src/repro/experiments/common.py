@@ -1,0 +1,101 @@
+"""Shared helpers for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..optim.greente import greente_heuristic
+from ..optim.solution import EnergyAwareSolution
+from ..power.model import PowerModel
+from ..routing.ksp import k_shortest_paths_all_pairs
+from ..routing.paths import RoutingConfiguration, RoutingTable
+from ..topology.base import Topology
+from ..traffic.matrix import Pair, TrafficMatrix
+from ..traffic.replay import TrafficTrace
+
+#: Signature of a per-interval energy-aware solver.
+IntervalSolver = Callable[[Topology, PowerModel, TrafficMatrix], EnergyAwareSolution]
+
+
+def greente_interval_solver(
+    k: int = 5,
+    utilisation_limit: float = 1.0,
+) -> IntervalSolver:
+    """A fast per-interval solver for trace replays.
+
+    The recomputation-rate and energy-critical-path analyses (Figures 1b, 2a,
+    2b) must recompute an energy-aware routing for every interval of a long
+    trace.  The exact MILP would make that prohibitively slow, so — exactly
+    like the state-of-the-art heuristics the paper discusses — the replay uses
+    the GreenTE-style greedy solver.  Candidate paths are computed once per
+    call; callers replaying many intervals should use
+    :func:`per_interval_solutions`, which caches them.
+    """
+
+    def solver(
+        topology: Topology, power_model: PowerModel, demands: TrafficMatrix
+    ) -> EnergyAwareSolution:
+        return greente_heuristic(
+            topology,
+            power_model,
+            demands,
+            k=k,
+            utilisation_limit=utilisation_limit,
+            allow_overload=True,
+        )
+
+    return solver
+
+
+def per_interval_solutions(
+    topology: Topology,
+    power_model: PowerModel,
+    trace: TrafficTrace,
+    k: int = 5,
+    utilisation_limit: float = 1.0,
+) -> List[EnergyAwareSolution]:
+    """Recompute the energy-aware routing for every interval of a trace.
+
+    Candidate k-shortest paths are computed once and reused across intervals,
+    which keeps long replays tractable.
+    """
+    pairs: List[Pair] = sorted(
+        {pair for matrix in trace.matrices() for pair in matrix.pairs()}
+    )
+    candidates = k_shortest_paths_all_pairs(topology, k, pairs=pairs)
+    solutions: List[EnergyAwareSolution] = []
+    for matrix in trace.matrices():
+        solutions.append(
+            greente_heuristic(
+                topology,
+                power_model,
+                matrix,
+                k=k,
+                utilisation_limit=utilisation_limit,
+                candidate_paths=candidates,
+                allow_overload=True,
+                ordering="stable",
+            )
+        )
+    return solutions
+
+
+def configurations_of(solutions: Sequence[EnergyAwareSolution]) -> List[RoutingConfiguration]:
+    """The active-element configuration of each per-interval solution."""
+    return [
+        RoutingConfiguration(
+            frozenset(solution.active_nodes), frozenset(solution.active_links)
+        )
+        for solution in solutions
+    ]
+
+
+def routings_of(solutions: Sequence[EnergyAwareSolution]) -> List[RoutingTable]:
+    """The routing table of each per-interval solution."""
+    tables: List[RoutingTable] = []
+    for solution in solutions:
+        if solution.routing is None:
+            raise ValueError("per-interval solution carries no routing table")
+        tables.append(solution.routing)
+    return tables

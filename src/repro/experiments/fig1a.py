@@ -1,0 +1,45 @@
+"""Figure 1a: CCDF of 5-minute traffic change in a (synthetic) Google datacenter.
+
+Paper result: the demand changes faster than energy-aware recomputation can
+follow — "in almost 50 % cases the traffic changes at least by 20 % percent
+over a 5-min interval".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.deviation import change_ccdf, fraction_changing_at_least, median_change
+from ..traffic.google_trace import GOOGLE_TRACE_DAYS, google_volume_series
+
+
+@dataclass
+class Fig1aResult:
+    """Series and headline statistics of the Figure 1a reproduction.
+
+    Attributes:
+        ccdf_points: ``(change_percent, ccdf_percent)`` pairs — the plotted
+            curve.
+        fraction_at_least_20_percent: Fraction of intervals whose traffic
+            changes by at least 20 % (paper: almost 0.5).
+        median_change_percent: Median relative change per 5-minute interval.
+    """
+
+    ccdf_points: List[Tuple[float, float]]
+    fraction_at_least_20_percent: float
+    median_change_percent: float
+
+    def rows(self) -> List[Tuple[float, float]]:
+        """The plotted rows: (change after 5 minutes [%], ccdf [%])."""
+        return self.ccdf_points
+
+
+def run_fig1a(num_days: int = GOOGLE_TRACE_DAYS, seed: int = 25) -> Fig1aResult:
+    """Reproduce Figure 1a from the synthetic Google-like volume series."""
+    series = google_volume_series(num_days=num_days, seed=seed)
+    return Fig1aResult(
+        ccdf_points=change_ccdf(series),
+        fraction_at_least_20_percent=fraction_changing_at_least(series, 0.20),
+        median_change_percent=median_change(series) * 100.0,
+    )

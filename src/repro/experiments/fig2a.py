@@ -1,0 +1,70 @@
+"""Figure 2a: routing-configuration dominance on the GÉANT replay.
+
+Paper result: a single routing configuration (the minimal power tree) is
+active almost 60 % of the time, but 13 distinct configurations appear over
+the trace — too many to pre-install as whole routing-table sets, which is why
+REsPoNse works with per-pair paths instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.dominance import DominanceResult, configuration_dominance
+from ..power.cisco import CiscoRouterPowerModel
+from ..power.model import PowerModel
+from ..topology.geant import build_geant
+from ..traffic.geant_trace import generate_geant_trace
+from ..traffic.matrix import select_pairs_among_subset
+from .common import configurations_of, per_interval_solutions
+
+
+@dataclass
+class Fig2aResult:
+    """Dominance distribution of the Figure 2a reproduction."""
+
+    dominance: DominanceResult
+
+    @property
+    def dominant_fraction(self) -> float:
+        """Time share of the most common configuration (paper: ~0.6)."""
+        return self.dominance.dominant_fraction
+
+    @property
+    def num_configurations(self) -> int:
+        """Number of distinct configurations (paper: 13)."""
+        return self.dominance.num_configurations
+
+    def rows(self) -> List[tuple]:
+        """Plotted rows: (configuration rank, fraction of time)."""
+        return list(enumerate(self.dominance.fractions, start=1))
+
+
+def run_fig2a(
+    num_days: int = 3,
+    num_pairs: int = 110,
+    num_endpoints: int = 16,
+    peak_total_bps: float = 80e9,
+    subsample: int = 1,
+    power_model: Optional[PowerModel] = None,
+    seed: int = 2005,
+) -> Fig2aResult:
+    """Reproduce Figure 2a on the synthetic GÉANT trace."""
+    topology = build_geant()
+    model = power_model or CiscoRouterPowerModel()
+    pairs = select_pairs_among_subset(
+        topology.routers(), num_endpoints, num_pairs, seed=seed
+    )
+    trace = generate_geant_trace(
+        topology,
+        num_days=num_days,
+        pairs=pairs,
+        peak_total_bps=peak_total_bps,
+        seed=seed,
+    )
+    if subsample > 1:
+        trace = trace.subsampled(subsample)
+    solutions = per_interval_solutions(topology, model, trace)
+    configurations = configurations_of(solutions)
+    return Fig2aResult(dominance=configuration_dominance(configurations))

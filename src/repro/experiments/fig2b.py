@@ -1,0 +1,123 @@
+"""Figure 2b: traffic coverage of the top-X energy-critical paths per pair.
+
+Paper result: on GÉANT, 2 precomputed paths per pair cover almost 98 % of the
+traffic and 3 cover essentially all of it; a fat-tree datacenter driven by
+the Google volume trace needs about 5 paths because of its much higher path
+diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.critical_paths import coverage_curve, paths_needed_for_coverage, rank_paths_by_traffic
+from ..power.cisco import CiscoRouterPowerModel
+from ..power.commodity import CommoditySwitchPowerModel
+from ..power.model import PowerModel
+from ..topology.fattree import build_fattree, hosts
+from ..topology.geant import build_geant
+from ..traffic.geant_trace import generate_geant_trace
+from ..traffic.google_trace import google_trace
+from ..traffic.matrix import select_pairs_among_subset
+from .common import per_interval_solutions, routings_of
+
+
+@dataclass
+class Fig2bResult:
+    """Coverage curves of the Figure 2b reproduction.
+
+    Attributes:
+        coverage: Per-network list of coverage fractions for 1..max_paths
+            energy-critical paths per pair (keys ``"geant"``, ``"fattree"``).
+        paths_for_98_percent: Number of per-pair paths needed to cover 98 %
+            of the traffic, per network.
+    """
+
+    coverage: Dict[str, List[float]]
+    paths_for_98_percent: Dict[str, int]
+
+    def rows(self) -> List[tuple]:
+        """Plotted rows: (number of paths, coverage geant, coverage fattree)."""
+        geant = self.coverage.get("geant", [])
+        fattree = self.coverage.get("fattree", [])
+        length = max(len(geant), len(fattree))
+        rows = []
+        for index in range(length):
+            rows.append(
+                (
+                    index + 1,
+                    geant[index] if index < len(geant) else None,
+                    fattree[index] if index < len(fattree) else None,
+                )
+            )
+        return rows
+
+
+def run_fig2b(
+    geant_days: int = 2,
+    geant_pairs: int = 110,
+    geant_endpoints: int = 16,
+    geant_peak_total_bps: float = 80e9,
+    fattree_k: int = 4,
+    fattree_days: int = 1,
+    fattree_peak_total_bps: float = 12e9,
+    max_paths: int = 5,
+    candidate_k: int = 6,
+    power_model: Optional[PowerModel] = None,
+    seed: int = 2005,
+) -> Fig2bResult:
+    """Reproduce Figure 2b for both a GÉANT-like ISP and a fat-tree datacenter.
+
+    Args:
+        geant_days: Days of the GÉANT-like trace to replay.
+        geant_pairs: Random origin-destination pairs on GÉANT.
+        fattree_k: Fat-tree arity (the paper uses 36 core switches, i.e.
+            ``k=12``; the default keeps the benchmark small — the qualitative
+            gap between ISP and datacenter survives at ``k=4``).
+        fattree_days: Days of the Google-like volume trace driving the
+            fat-tree workload.
+        max_paths: Largest number of per-pair paths on the x-axis.
+        candidate_k: Candidate paths per pair available to the per-interval
+            solver (must exceed ``max_paths`` for the curve to be meaningful).
+        power_model: ISP power model; the fat-tree uses the commodity model.
+        seed: Trace generator seed.
+    """
+    coverage: Dict[str, List[float]] = {}
+    needed: Dict[str, int] = {}
+
+    # GÉANT-like ISP network.
+    geant = build_geant()
+    isp_model = power_model or CiscoRouterPowerModel()
+    geant_pair_set = select_pairs_among_subset(
+        geant.routers(), geant_endpoints, geant_pairs, seed=seed
+    )
+    geant_trace = generate_geant_trace(
+        geant,
+        num_days=geant_days,
+        pairs=geant_pair_set,
+        peak_total_bps=geant_peak_total_bps,
+        seed=seed,
+    )
+    geant_solutions = per_interval_solutions(geant, isp_model, geant_trace, k=candidate_k)
+    geant_ranked = rank_paths_by_traffic(geant_trace, routings_of(geant_solutions))
+    coverage["geant"] = coverage_curve(geant_ranked, max_paths=max_paths)
+    needed["geant"] = paths_needed_for_coverage(geant_ranked, 0.98, max_paths=max_paths)
+
+    # Fat-tree datacenter driven by the Google-like volume series.
+    fattree = build_fattree(fattree_k)
+    dc_model = CommoditySwitchPowerModel(ports_at_peak=fattree_k)
+    host_names = hosts(fattree)
+    pairs = [
+        (host_names[index], host_names[(index + len(host_names) // 2) % len(host_names)])
+        for index in range(len(host_names))
+    ]
+    dc_trace = google_trace(
+        pairs, num_days=fattree_days, peak_total_bps=fattree_peak_total_bps, seed=seed
+    )
+    dc_solutions = per_interval_solutions(fattree, dc_model, dc_trace, k=candidate_k + 2)
+    dc_ranked = rank_paths_by_traffic(dc_trace, routings_of(dc_solutions))
+    coverage["fattree"] = coverage_curve(dc_ranked, max_paths=max_paths)
+    needed["fattree"] = paths_needed_for_coverage(dc_ranked, 0.98, max_paths=max_paths)
+
+    return Fig2bResult(coverage=coverage, paths_for_98_percent=needed)

@@ -1,0 +1,110 @@
+"""Figure 4: power versus time for sinusoidal traffic in a k=4 fat-tree.
+
+Paper result: REsPoNse matches ElasticTree's formal solution (their curves
+coincide); with *near* (intra-pod) traffic the power drops to a small
+fraction of the original at the trough and stays well below 100 % even at the
+peak, with *far* (inter-pod) traffic the network must keep the core awake at
+the peak so savings shrink there, and ECMP stays flat at ~100 % because it
+spreads load over every element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.planner import activate_paths
+from ..core.response import ResponseConfig, build_response_plan
+from ..optim.elastictree import elastictree_subset
+from ..power.accounting import full_power, network_power
+from ..power.commodity import CommoditySwitchPowerModel
+from ..routing.ecmp import ecmp_active_elements
+from ..topology.fattree import build_fattree, hosts
+from ..traffic.sinewave import fattree_sine_pairs, sine_wave_trace
+
+
+@dataclass
+class Fig4Result:
+    """Power time series of the Figure 4 reproduction.
+
+    Attributes:
+        times: Interval indices (the x-axis of the figure).
+        power_percent: Power (% of original) per technique:
+            ``"ecmp"``, ``"response_near"``, ``"response_far"``,
+            ``"elastictree_near"``, ``"elastictree_far"``.
+    """
+
+    times: List[float]
+    power_percent: Dict[str, List[float]]
+
+    def rows(self) -> List[tuple]:
+        """Plotted rows: (time, ecmp, response_far, response_near)."""
+        return [
+            (
+                time,
+                self.power_percent["ecmp"][index],
+                self.power_percent["response_far"][index],
+                self.power_percent["response_near"][index],
+            )
+            for index, time in enumerate(self.times)
+        ]
+
+    def mean_savings_percent(self, technique: str) -> float:
+        """Average savings of a technique over the experiment."""
+        series = self.power_percent[technique]
+        return 100.0 - sum(series) / len(series)
+
+
+def run_fig4(
+    k: int = 4,
+    num_intervals: int = 11,
+    utilisation_threshold: float = 0.9,
+    include_elastictree: bool = True,
+    seed: int = 4,
+) -> Fig4Result:
+    """Reproduce Figure 4 on a k-ary fat-tree with sine-wave demand."""
+    topology = build_fattree(k)
+    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
+    baseline = full_power(topology, power_model).total_w
+
+    times = [float(index) for index in range(num_intervals)]
+    power: Dict[str, List[float]] = {
+        "ecmp": [],
+        "response_near": [],
+        "response_far": [],
+    }
+    if include_elastictree:
+        power["elastictree_near"] = []
+        power["elastictree_far"] = []
+
+    for mode in ("near", "far"):
+        trace = sine_wave_trace(topology, mode=mode, num_intervals=num_intervals, seed=seed)
+        pairs = fattree_sine_pairs(topology, mode, seed=seed)
+        plan = build_response_plan(
+            topology,
+            power_model,
+            pairs=pairs,
+            config=ResponseConfig(num_paths=3, k=4, include_failover=True),
+        )
+        for matrix in trace.matrices():
+            activation = activate_paths(
+                topology,
+                power_model,
+                plan,
+                matrix,
+                utilisation_threshold=utilisation_threshold,
+            )
+            power[f"response_{mode}"].append(activation.power_percent)
+            if include_elastictree:
+                subset = elastictree_subset(topology, power_model, matrix)
+                power[f"elastictree_{mode}"].append(100.0 * subset.power_w / baseline)
+
+    # ECMP keeps every element on any shortest path active; with all-pairs
+    # demand that is the whole switching fabric, so its power is flat.
+    far_trace = sine_wave_trace(topology, mode="far", num_intervals=num_intervals, seed=seed)
+    for matrix in far_trace.matrices():
+        nodes, links = ecmp_active_elements(topology, matrix)
+        ecmp_power = network_power(topology, power_model, nodes, links).total_w
+        power["ecmp"].append(100.0 * ecmp_power / baseline)
+
+    return Fig4Result(times=times, power_percent=power)

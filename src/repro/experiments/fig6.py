@@ -1,0 +1,162 @@
+"""Figure 6: power consumption across utilisation levels in the Genuity topology.
+
+Paper result: at util-10 the savings are around 30 %; as the load grows the
+REsPoNse variants progressively activate more resources, approaching the
+fully powered network at util-100.  REsPoNse-lat trades a little of the
+savings for the latency bound, REsPoNse-heuristic (traffic-aware GreenTE
+on-demand paths) saves more at high load, and even REsPoNse-ospf (on-demand
+paths = OSPF table) remains energy-proportional.  The optimal per-demand
+recomputation lower-bounds them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.planner import activate_paths
+from ..core.response import ResponseConfig, build_response_plan
+from ..optim.greente import greente_heuristic
+from ..optim.pathmilp import PathMilpConfig, solve_path_milp
+from ..power.accounting import full_power
+from ..power.cisco import CiscoRouterPowerModel
+from ..power.model import PowerModel
+from ..topology.rocketfuel import build_genuity
+from ..traffic.gravity import gravity_matrix
+from ..traffic.matrix import select_pairs_among_subset
+from ..traffic.scaling import calibrate_max_load
+
+#: Variants plotted in the figure, in its legend order.
+FIG6_VARIANTS = (
+    "response-lat",
+    "response",
+    "response-ospf",
+    "response-heuristic",
+    "optimal",
+)
+
+
+@dataclass
+class Fig6Result:
+    """Power per utilisation level and variant.
+
+    Attributes:
+        utilisation_levels: The evaluated levels (percent of the calibrated
+            maximum load, e.g. 10/50/100).
+        power_percent: ``variant -> [power % per level]``.
+    """
+
+    utilisation_levels: List[float]
+    power_percent: Dict[str, List[float]]
+
+    def rows(self) -> List[tuple]:
+        """Plotted rows: (util level, then one column per variant)."""
+        rows = []
+        for index, level in enumerate(self.utilisation_levels):
+            rows.append(
+                (f"util-{int(level)}",)
+                + tuple(self.power_percent[variant][index] for variant in FIG6_VARIANTS)
+            )
+        return rows
+
+    def savings_at(self, variant: str, level: float) -> float:
+        """Savings of a variant at a utilisation level."""
+        index = self.utilisation_levels.index(level)
+        return 100.0 - self.power_percent[variant][index]
+
+
+def run_fig6(
+    utilisation_levels: Sequence[float] = (10.0, 50.0, 100.0),
+    num_pairs: int = 150,
+    num_endpoints: int = 26,
+    utilisation_threshold: float = 0.95,
+    latency_beta: float = 0.25,
+    k: int = 3,
+    power_model: Optional[PowerModel] = None,
+    seed: int = 1,
+) -> Fig6Result:
+    """Reproduce Figure 6 on the synthetic Genuity topology.
+
+    Args:
+        utilisation_levels: Levels (percent of the calibrated maximum load).
+        num_pairs: Random origin-destination pairs carrying gravity traffic.
+        num_endpoints: Size of the random subset of PoPs acting as origins
+            and destinations.
+        utilisation_threshold: REsPoNseTE's activation SLO during the replay.
+        latency_beta: Latency bound of the REsPoNse-lat variant.
+        k: Candidate paths per pair for the solvers.
+        power_model: Power model (Cisco 12000 by default).
+        seed: Seed for the pair selection and topology generation.
+    """
+    topology = build_genuity()
+    model = power_model or CiscoRouterPowerModel()
+    baseline = full_power(topology, model).total_w
+    pairs = select_pairs_among_subset(
+        topology.routers(), num_endpoints, num_pairs, seed=seed
+    )
+
+    base = gravity_matrix(topology, total_traffic_bps=1e9, pairs=pairs)
+    max_scale = calibrate_max_load(topology, base)
+    matrices = {
+        level: base.scaled(max_scale * level / 100.0) for level in utilisation_levels
+    }
+    peak_matrix = matrices[max(utilisation_levels)]
+
+    plans = {
+        "response": build_response_plan(
+            topology, model, pairs=pairs, config=ResponseConfig(num_paths=3, k=k)
+        ),
+        "response-lat": build_response_plan(
+            topology,
+            model,
+            pairs=pairs,
+            config=ResponseConfig(num_paths=3, k=k, latency_beta=latency_beta),
+        ),
+        "response-ospf": build_response_plan(
+            topology,
+            model,
+            pairs=pairs,
+            config=ResponseConfig(num_paths=3, k=k, on_demand_method="ospf"),
+        ),
+        "response-heuristic": build_response_plan(
+            topology,
+            model,
+            pairs=pairs,
+            peak_matrix=peak_matrix,
+            config=ResponseConfig(num_paths=3, k=k, on_demand_method="heuristic"),
+        ),
+    }
+
+    power_percent: Dict[str, List[float]] = {variant: [] for variant in FIG6_VARIANTS}
+    for level in utilisation_levels:
+        demands = matrices[level]
+        for variant, plan in plans.items():
+            activation = activate_paths(
+                topology,
+                model,
+                plan,
+                demands,
+                utilisation_threshold=utilisation_threshold,
+            )
+            power_percent[variant].append(activation.power_percent)
+        # "Optimal": recompute the minimal subset for this exact demand.
+        try:
+            optimal = solve_path_milp(
+                topology,
+                model,
+                demands,
+                config=PathMilpConfig(k=k, time_limit_s=60.0),
+                solver_name="optimal",
+            )
+            optimal_power = optimal.power_w
+        except Exception:
+            # Fall back to the traffic-aware heuristic if the MILP cannot
+            # finish within its budget for the largest instances.
+            optimal_power = greente_heuristic(
+                topology, model, demands, k=k, allow_overload=True
+            ).power_w
+        power_percent["optimal"].append(100.0 * optimal_power / baseline)
+
+    return Fig6Result(
+        utilisation_levels=list(utilisation_levels), power_percent=power_percent
+    )

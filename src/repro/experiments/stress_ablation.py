@@ -1,0 +1,137 @@
+"""Section 4.2 (text) ablation: the stress-factor exclusion fraction.
+
+Paper claim: "Our sensitivity analysis shows that excluding 20 % of the links
+with the highest stress is sufficient to produce a set of paths that together
+with the always-on paths can accommodate peak-hour traffic demands."
+
+This ablation sweeps the exclusion fraction and, for every value, measures
+the largest gravity-shaped volume the combination of always-on and on-demand
+paths can absorb (using the activation planner), relative to what the network
+can carry at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.always_on import AlwaysOnConfig, compute_always_on
+from ..core.on_demand import OnDemandConfig, compute_on_demand
+from ..core.plan import ResponsePlan
+from ..core.planner import activate_paths
+from ..power.cisco import CiscoRouterPowerModel
+from ..power.model import PowerModel
+from ..topology.base import Topology
+from ..topology.geant import build_geant
+from ..traffic.geant_trace import generate_geant_trace
+from ..traffic.matrix import TrafficMatrix, select_pairs_among_subset
+
+
+@dataclass
+class StressAblationResult:
+    """Absorbable load versus stress-exclusion fraction.
+
+    Attributes:
+        fractions: The evaluated exclusion fractions.
+        absorbable_load_fraction: For each fraction, the largest multiple of
+            the calibrated maximum load that the always-on plus on-demand
+            paths absorb without exceeding the utilisation threshold.
+    """
+
+    fractions: List[float]
+    absorbable_load_fraction: List[float]
+
+    def rows(self) -> List[tuple]:
+        """Report rows: (exclusion fraction, absorbable multiple of the peak)."""
+        return list(zip(self.fractions, self.absorbable_load_fraction))
+
+    def absorbs_peak(self, fraction: float) -> bool:
+        """Whether the plan built with this exclusion fraction absorbs the peak."""
+        index = self.fractions.index(fraction)
+        return self.absorbable_load_fraction[index] >= 1.0 - 1e-9
+
+    def best_fraction(self) -> float:
+        """The exclusion fraction absorbing the most load (ties → smallest)."""
+        best_index = max(
+            range(len(self.fractions)),
+            key=lambda index: (self.absorbable_load_fraction[index], -self.fractions[index]),
+        )
+        return self.fractions[best_index]
+
+
+def run_stress_ablation(
+    fractions: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    num_pairs: int = 110,
+    num_endpoints: int = 16,
+    trace_days: int = 1,
+    utilisation_threshold: float = 0.95,
+    topology: Optional[Topology] = None,
+    power_model: Optional[PowerModel] = None,
+    seed: int = 42,
+) -> StressAblationResult:
+    """Sweep the stress-factor exclusion fraction on a GÉANT-like network.
+
+    The "peak" against which every plan is measured is the element-wise peak
+    of the synthetic GÉANT trace (the paper's peak-hour demands), not the
+    theoretical maximum the full network could carry.
+    """
+    topo = topology or build_geant()
+    model = power_model or CiscoRouterPowerModel()
+    pairs = select_pairs_among_subset(topo.routers(), num_endpoints, num_pairs, seed=seed)
+
+    trace = generate_geant_trace(topo, num_days=trace_days, pairs=pairs, seed=seed)
+    peak = trace.peak_matrix()
+
+    always_on = compute_always_on(topo, model, pairs=pairs, config=AlwaysOnConfig(k=3))
+
+    absorbed: List[float] = []
+    for fraction in fractions:
+        on_demand = compute_on_demand(
+            topo,
+            model,
+            always_on,
+            pairs=pairs,
+            config=OnDemandConfig(
+                method="stress", stress_exclude_fraction=fraction, k=3
+            ),
+        )
+        plan = ResponsePlan(
+            always_on=always_on,
+            on_demand=on_demand,
+            failover=None,
+            topology_name=topo.name,
+            variant=f"stress-{fraction:.2f}",
+        )
+        absorbed.append(
+            _max_absorbable_fraction(topo, model, plan, peak, utilisation_threshold)
+        )
+    return StressAblationResult(
+        fractions=list(fractions), absorbable_load_fraction=absorbed
+    )
+
+
+def _max_absorbable_fraction(
+    topology: Topology,
+    power_model: PowerModel,
+    plan: ResponsePlan,
+    peak: TrafficMatrix,
+    utilisation_threshold: float,
+    step: float = 0.1,
+    limit: float = 3.0,
+) -> float:
+    """Largest multiple of the peak matrix placed without overload."""
+    feasible = 0.0
+    fraction = step
+    while fraction <= limit + 1e-9:
+        activation = activate_paths(
+            topology,
+            power_model,
+            plan,
+            peak.scaled(fraction),
+            utilisation_threshold=utilisation_threshold,
+        )
+        if activation.overloaded_pairs:
+            break
+        feasible = fraction
+        fraction += step
+    return feasible

@@ -1,0 +1,123 @@
+"""Greedy minimum-subset heuristic (Chiaraviglio et al. [15]).
+
+"The authors propose a heuristic which sorts the devices according to their
+power consumption and then tries to power off the devices that are most
+power hungry."  The heuristic below follows that recipe: starting from the
+fully powered network it repeatedly tries to switch off the most power-hungry
+remaining element (first routers, then individual links), keeping an element
+off only if the splittable multi-commodity flow LP still accommodates the
+demand on what remains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..power.model import PowerModel
+from ..routing.mcf import is_demand_feasible
+from ..routing.ospf import ospf_invcap_routing
+from ..routing.paths import RoutingTable
+from ..topology.base import Topology, link_key
+from ..traffic.matrix import TrafficMatrix
+from .solution import EnergyAwareSolution, element_power_coefficients, solution_power
+
+
+def _protected_nodes(topology: Topology, demands: TrafficMatrix) -> Set[str]:
+    """Nodes that can never be switched off: endpoints and always-on devices."""
+    protected = {name for name in topology.nodes() if topology.node(name).always_powered}
+    protected |= set(demands.nodes())
+    return protected
+
+
+def greedy_minimum_subset(
+    topology: Topology,
+    power_model: PowerModel,
+    demands: TrafficMatrix,
+    utilisation_limit: float = 1.0,
+    fixed_on_nodes: Optional[Iterable[str]] = None,
+    fixed_on_links: Optional[Iterable[Tuple[str, str]]] = None,
+    build_routing: bool = True,
+) -> EnergyAwareSolution:
+    """Find a small active subset able to carry *demands*.
+
+    Args:
+        topology: The physical topology.
+        power_model: Power coefficients guiding the switch-off order.
+        demands: Traffic matrix that must remain routable.
+        utilisation_limit: Safety margin applied to every arc capacity.
+        fixed_on_nodes: Nodes that must stay on regardless of traffic.
+        fixed_on_links: Undirected links that must stay active.
+        build_routing: Also derive a single-path routing table on the final
+            active subgraph (inverse-capacity shortest paths).
+
+    Returns:
+        An :class:`EnergyAwareSolution`; ``optimal`` is always ``False``.
+    """
+    node_power, link_power = element_power_coefficients(topology, power_model)
+    active_nodes: Set[str] = set(topology.nodes())
+    active_links: Set[Tuple[str, str]] = set(topology.link_keys())
+
+    protected_nodes = _protected_nodes(topology, demands) | set(fixed_on_nodes or ())
+    protected_links = {link_key(u, v) for (u, v) in (fixed_on_links or ())}
+
+    def feasible(nodes: Set[str], links: Set[Tuple[str, str]]) -> bool:
+        return is_demand_feasible(
+            topology,
+            demands,
+            utilisation_limit=utilisation_limit,
+            active_nodes=nodes,
+            active_links=links,
+        )
+
+    # Phase 1: routers, most power-hungry first (chassis + incident ports).
+    def router_power(name: str) -> float:
+        incident = sum(link_power[link.key] for link in topology.incident_links(name))
+        return node_power[name] + incident
+
+    for name in sorted(topology.routers(), key=router_power, reverse=True):
+        if name in protected_nodes or name not in active_nodes:
+            continue
+        candidate_nodes = active_nodes - {name}
+        candidate_links = {
+            key for key in active_links if name not in key
+        }
+        if feasible(candidate_nodes, candidate_links):
+            active_nodes = candidate_nodes
+            active_links = candidate_links
+
+    # Phase 2: individual links, most power-hungry first.
+    for key in sorted(active_links, key=lambda k: link_power[k], reverse=True):
+        if key in protected_links:
+            continue
+        candidate_links = active_links - {key}
+        if feasible(active_nodes, candidate_links):
+            active_links = candidate_links
+
+    # Drop routers left with no active link (constraint 3), unless protected.
+    attached: Dict[str, int] = {name: 0 for name in active_nodes}
+    for u, v in active_links:
+        attached[u] = attached.get(u, 0) + 1
+        attached[v] = attached.get(v, 0) + 1
+    active_nodes = {
+        name
+        for name in active_nodes
+        if attached.get(name, 0) > 0 or name in protected_nodes
+    }
+
+    routing: Optional[RoutingTable] = None
+    if build_routing and len(demands) > 0:
+        subgraph = topology.subgraph(active_nodes, active_links)
+        routing = ospf_invcap_routing(
+            subgraph, pairs=demands.pairs(), name="greedy-subset"
+        )
+
+    power = solution_power(topology, power_model, active_nodes, active_links)
+    return EnergyAwareSolution(
+        active_nodes=active_nodes,
+        active_links=active_links,
+        routing=routing,
+        power_w=power,
+        objective_w=power,
+        optimal=False,
+        solver="greedy-minimum-subset",
+    )

@@ -1,0 +1,117 @@
+"""LP relaxation with rounding (Fisher, Suchara, Rexford [19] style).
+
+Fisher et al. linearise the energy-minimisation problem, solve the LP
+relaxation and then apply rounding heuristics to recover an integral on/off
+assignment.  The reproduction follows the same outline:
+
+1. solve the path-restricted problem with *continuous* on/off variables,
+2. sort links by their fractional activation value,
+3. greedily switch off the links with the smallest fractional values, keeping
+   a link off only if the splittable MCF still routes the demand.
+
+This baseline is used in ablation benchmarks to contrast the quality/runtime
+trade-off of the exact MILP, the greedy heuristic and rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from ..power.model import PowerModel
+from ..routing.mcf import is_demand_feasible
+from ..routing.ospf import ospf_invcap_routing
+from ..topology.base import Topology
+from ..traffic.matrix import TrafficMatrix
+from .pathmilp import PathMilpConfig, solve_path_milp
+from .solution import EnergyAwareSolution, solution_power
+
+
+def lp_relaxation_with_rounding(
+    topology: Topology,
+    power_model: PowerModel,
+    demands: TrafficMatrix,
+    k: int = 3,
+    utilisation_limit: float = 1.0,
+    fixed_on_nodes: Optional[Iterable[str]] = None,
+    fixed_on_links: Optional[Iterable[Tuple[str, str]]] = None,
+    build_routing: bool = True,
+) -> EnergyAwareSolution:
+    """Relax, round and repair.
+
+    Args:
+        topology: The physical topology.
+        power_model: Power coefficients of the objective.
+        demands: Traffic matrix to carry.
+        k: Candidate paths per pair used by the relaxation.
+        utilisation_limit: Safety margin on arc capacities.
+        fixed_on_nodes: Nodes that must stay on.
+        fixed_on_links: Links that must stay active.
+        build_routing: Derive shortest-path routing on the rounded subset.
+
+    Returns:
+        An :class:`EnergyAwareSolution`; never proven optimal.
+    """
+    relaxed = solve_path_milp(
+        topology,
+        power_model,
+        demands,
+        config=PathMilpConfig(k=k, utilisation_limit=utilisation_limit, integral_paths=False),
+        fixed_on_nodes=fixed_on_nodes,
+        fixed_on_links=fixed_on_links,
+        solver_name="lp-relaxation",
+    )
+
+    # Start from the relaxation's support and try to remove links in
+    # ascending order of how much the relaxation wanted them.
+    active_nodes: Set[str] = set(relaxed.active_nodes)
+    active_links: Set[Tuple[str, str]] = set(relaxed.active_links)
+    protected_nodes = {
+        name for name in topology.nodes() if topology.node(name).always_powered
+    }
+    protected_nodes |= set(fixed_on_nodes or ())
+    protected_nodes |= set(demands.nodes())
+    protected_links = {tuple(sorted(key)) for key in (fixed_on_links or ())}
+
+    def feasible(nodes: Set[str], links: Set[Tuple[str, str]]) -> bool:
+        return is_demand_feasible(
+            topology,
+            demands,
+            utilisation_limit=utilisation_limit,
+            active_nodes=nodes,
+            active_links=links,
+        )
+
+    for key in sorted(active_links):
+        if key in protected_links:
+            continue
+        candidate = active_links - {key}
+        if feasible(active_nodes, candidate):
+            active_links = candidate
+
+    # Remove nodes that lost all their links (or are simply removable).
+    for name in sorted(active_nodes):
+        if name in protected_nodes:
+            continue
+        candidate_nodes = active_nodes - {name}
+        candidate_links = {k2 for k2 in active_links if name not in k2}
+        if feasible(candidate_nodes, candidate_links):
+            active_nodes = candidate_nodes
+            active_links = candidate_links
+
+    routing = None
+    if build_routing and len(demands) > 0:
+        subgraph = topology.subgraph(active_nodes, active_links)
+        routing = ospf_invcap_routing(subgraph, pairs=demands.pairs(), name="lp-rounding")
+
+    power = solution_power(topology, power_model, active_nodes, active_links)
+    return EnergyAwareSolution(
+        active_nodes=active_nodes,
+        active_links=active_links,
+        routing=routing,
+        power_w=power,
+        objective_w=power,
+        optimal=False,
+        solver="lp-relaxation-rounding",
+    )

@@ -1,0 +1,34 @@
+"""Power models and network-wide power accounting."""
+
+from .accounting import (
+    PowerBreakdown,
+    energy_savings_percentage,
+    full_power,
+    network_power,
+    power_percentage,
+)
+from .alternative import CHASSIS_REDUCTION_FACTOR, AlternativeHardwarePowerModel
+from .cisco import (
+    AMPLIFIER_POWER_W,
+    CISCO_CHASSIS_POWER_W,
+    CiscoRouterPowerModel,
+    line_card_power_for_capacity,
+)
+from .commodity import CommoditySwitchPowerModel
+from .model import PowerModel
+
+__all__ = [
+    "PowerBreakdown",
+    "energy_savings_percentage",
+    "full_power",
+    "network_power",
+    "power_percentage",
+    "AlternativeHardwarePowerModel",
+    "CHASSIS_REDUCTION_FACTOR",
+    "AMPLIFIER_POWER_W",
+    "CISCO_CHASSIS_POWER_W",
+    "CiscoRouterPowerModel",
+    "line_card_power_for_capacity",
+    "CommoditySwitchPowerModel",
+    "PowerModel",
+]

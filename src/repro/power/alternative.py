@@ -1,0 +1,28 @@
+"""The paper's "alternative hardware model" (Section 5.1).
+
+To reflect ongoing efforts toward energy-proportional network elements, the
+paper also evaluates a model "in which the power budget for always-on
+components (chassis) is reduced by factor of 10".  Line-card power is
+unchanged; only the fixed chassis overhead shrinks, which increases the
+fraction of power that the REsPoNse path selection can actually remove
+(Figure 5 reports 42 % savings under this model versus 30 % today).
+"""
+
+from __future__ import annotations
+
+from .cisco import CISCO_CHASSIS_POWER_W, CiscoRouterPowerModel
+
+#: Factor by which the chassis budget is reduced.
+CHASSIS_REDUCTION_FACTOR = 10.0
+
+
+class AlternativeHardwarePowerModel(CiscoRouterPowerModel):
+    """Cisco line cards with a ten-times smaller chassis budget."""
+
+    name = "alternative-hw"
+
+    def __init__(self, include_amplifiers: bool = True) -> None:
+        super().__init__(
+            chassis_power_w=CISCO_CHASSIS_POWER_W / CHASSIS_REDUCTION_FACTOR,
+            include_amplifiers=include_amplifiers,
+        )

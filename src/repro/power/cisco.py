@@ -1,0 +1,76 @@
+"""Cisco 12000-series router power model (Section 5.1 of the paper).
+
+The paper's representative ISP hardware model: "each line-card (OC3, OC48,
+OC192) consumes between 60 and 174 W, depending on its operating speed, while
+the chassis consumes about 600 W (around 60 % of the router's power budget)".
+Optical repeaters draw about 1.2 W and are negligible in comparison.
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Arc, Node
+from ..units import gbps, mbps
+from .model import PowerModel
+
+#: Chassis power of a typical Cisco 12000 configuration.
+CISCO_CHASSIS_POWER_W = 600.0
+
+#: Line-card power by interface class (watts).
+OC3_PORT_POWER_W = 60.0     # 155 Mb/s
+OC12_PORT_POWER_W = 80.0    # 622 Mb/s
+OC48_PORT_POWER_W = 140.0   # 2.5 Gb/s
+OC192_PORT_POWER_W = 174.0  # 10 Gb/s
+
+#: Power of one optical repeater/amplifier span (Teleste figure cited in the paper).
+AMPLIFIER_POWER_W = 1.2
+
+#: Fibre span length between amplifiers (km).
+AMPLIFIER_SPAN_KM = 80.0
+
+
+def line_card_power_for_capacity(capacity_bps: float) -> float:
+    """Line-card power for a port of the given speed.
+
+    The mapping follows the OC3/OC12/OC48/OC192 classes the paper quotes;
+    intermediate speeds round up to the next class.
+    """
+    if capacity_bps <= mbps(155):
+        return OC3_PORT_POWER_W
+    if capacity_bps <= mbps(622):
+        return OC12_PORT_POWER_W
+    if capacity_bps <= gbps(2.5):
+        return OC48_PORT_POWER_W
+    return OC192_PORT_POWER_W
+
+
+class CiscoRouterPowerModel(PowerModel):
+    """Representative "hardware of today" ISP router power model."""
+
+    name = "cisco-12000"
+
+    def __init__(
+        self,
+        chassis_power_w: float = CISCO_CHASSIS_POWER_W,
+        include_amplifiers: bool = True,
+    ) -> None:
+        self._chassis_power_w = float(chassis_power_w)
+        self._include_amplifiers = bool(include_amplifiers)
+
+    def chassis_power_w(self, node: Node) -> float:
+        """Chassis power; zero for host nodes."""
+        if self._is_host(node):
+            return 0.0
+        return self._chassis_power_w
+
+    def port_power_w(self, arc: Arc) -> float:
+        """Line-card power for the port at ``arc.src``; zero if it is a host."""
+        if arc.src.startswith("host"):
+            return 0.0
+        return line_card_power_for_capacity(arc.capacity_bps)
+
+    def amplifier_power_w(self, arc: Arc) -> float:
+        """Amplifier power along *arc*: one repeater per 80 km span."""
+        if not self._include_amplifiers or arc.length_km <= 0:
+            return 0.0
+        spans = int(arc.length_km // AMPLIFIER_SPAN_KM)
+        return spans * AMPLIFIER_POWER_W

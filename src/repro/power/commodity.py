@@ -1,0 +1,74 @@
+"""Commodity datacenter switch power model (Section 5.1 of the paper).
+
+For fat-tree datacenter networks built from commodity switches the paper uses
+"a model that captures the energy-unproportionality of off-the-shelf
+switches, in which the fixed overheads due to fans, switch chips, and
+transceivers amount to about 90 % of the peak power budget even if there is
+no traffic".  A switch whose traffic has been removed can enter a low-power
+state consuming a negligible amount of power.
+
+The model splits a configurable peak budget into a fixed (chassis) part and a
+per-port part such that a switch with all its ports active draws exactly the
+peak budget.
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Arc, Node
+from .model import PowerModel
+
+#: Peak power of a commodity top-of-rack/aggregation switch (watts).
+DEFAULT_PEAK_POWER_W = 150.0
+
+#: Fraction of the peak budget that is fixed overhead.
+DEFAULT_FIXED_FRACTION = 0.9
+
+#: Port count at which the switch reaches its peak budget.
+DEFAULT_PORTS_AT_PEAK = 48
+
+
+class CommoditySwitchPowerModel(PowerModel):
+    """Energy-unproportional commodity switch: ~90 % of peak is fixed."""
+
+    name = "commodity-switch"
+
+    def __init__(
+        self,
+        peak_power_w: float = DEFAULT_PEAK_POWER_W,
+        fixed_fraction: float = DEFAULT_FIXED_FRACTION,
+        ports_at_peak: int = DEFAULT_PORTS_AT_PEAK,
+    ) -> None:
+        if not 0.0 <= fixed_fraction <= 1.0:
+            raise ValueError(f"fixed_fraction must be in [0, 1], got {fixed_fraction}")
+        if ports_at_peak <= 0:
+            raise ValueError(f"ports_at_peak must be positive, got {ports_at_peak}")
+        self._peak_power_w = float(peak_power_w)
+        self._fixed_fraction = float(fixed_fraction)
+        self._ports_at_peak = int(ports_at_peak)
+
+    @property
+    def peak_power_w(self) -> float:
+        """Peak (all ports active) power budget of one switch."""
+        return self._peak_power_w
+
+    @property
+    def fixed_power_w(self) -> float:
+        """Fixed overhead drawn by a powered-on switch regardless of traffic."""
+        return self._peak_power_w * self._fixed_fraction
+
+    @property
+    def per_port_power_w(self) -> float:
+        """Incremental power of one active port."""
+        return self._peak_power_w * (1.0 - self._fixed_fraction) / self._ports_at_peak
+
+    def chassis_power_w(self, node: Node) -> float:
+        """Fixed switch overhead; zero for host nodes."""
+        if self._is_host(node):
+            return 0.0
+        return self.fixed_power_w
+
+    def port_power_w(self, arc: Arc) -> float:
+        """Per-port power at ``arc.src``; zero if the port belongs to a host."""
+        if arc.src.startswith("host"):
+            return 0.0
+        return self.per_port_power_w

@@ -1,0 +1,51 @@
+"""Routing substrate: paths, routing tables, OSPF, ECMP, k-shortest paths, MCF."""
+
+from .ecmp import (
+    ecmp_active_elements,
+    ecmp_link_loads,
+    ecmp_max_utilisation,
+    equal_cost_paths,
+)
+from .ksp import k_shortest_paths, k_shortest_paths_all_pairs, path_diversity
+from .mcf import MCFResult, is_demand_feasible, solve_mcf
+from .ospf import (
+    ospf_delays,
+    ospf_invcap_routing,
+    ospf_latency_routing,
+    shortest_path,
+)
+from .paths import (
+    Path,
+    RoutingConfiguration,
+    RoutingTable,
+    is_feasible,
+    link_loads,
+    link_utilisations,
+    max_link_utilisation,
+    uncovered_pairs,
+)
+
+__all__ = [
+    "ecmp_active_elements",
+    "ecmp_link_loads",
+    "ecmp_max_utilisation",
+    "equal_cost_paths",
+    "k_shortest_paths",
+    "k_shortest_paths_all_pairs",
+    "path_diversity",
+    "MCFResult",
+    "is_demand_feasible",
+    "solve_mcf",
+    "ospf_delays",
+    "ospf_invcap_routing",
+    "ospf_latency_routing",
+    "shortest_path",
+    "Path",
+    "RoutingConfiguration",
+    "RoutingTable",
+    "is_feasible",
+    "link_loads",
+    "link_utilisations",
+    "max_link_utilisation",
+    "uncovered_pairs",
+]

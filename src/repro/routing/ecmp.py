@@ -1,0 +1,103 @@
+"""Equal-Cost Multi-Path (ECMP) routing.
+
+ECMP is the datacenter baseline of Figure 4: traffic is spread over all
+equal-cost shortest paths, which keeps every network element busy and hence
+powered on — its power curve is flat at (about) 100 % of the original power
+regardless of demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..exceptions import PathNotFoundError
+from ..topology.base import Topology
+from ..traffic.matrix import Pair, TrafficMatrix, all_pairs
+from .paths import Path
+
+
+def equal_cost_paths(
+    topology: Topology,
+    origin: str,
+    destination: str,
+    weight: str = "hops",
+) -> List[Path]:
+    """All equal-cost shortest paths between two nodes.
+
+    Args:
+        topology: The network.
+        origin: Path origin.
+        destination: Path destination.
+        weight: ``"hops"`` (default, the usual ECMP metric inside a
+            datacenter), ``"invcap"`` or ``"latency"``.
+
+    Raises:
+        PathNotFoundError: If the destination is unreachable.
+    """
+    graph = topology.to_networkx()
+    weight_attr = None if weight in (None, "hops") else weight
+    try:
+        paths = nx.all_shortest_paths(graph, origin, destination, weight=weight_attr)
+        return [Path.of(nodes) for nodes in paths]
+    except nx.NetworkXNoPath:
+        raise PathNotFoundError(origin, destination) from None
+
+
+def ecmp_link_loads(
+    topology: Topology,
+    demands: TrafficMatrix,
+    weight: str = "hops",
+) -> Dict[Tuple[str, str], float]:
+    """Per-arc load when every demand is split equally over its ECMP paths."""
+    loads: Dict[Tuple[str, str], float] = {key: 0.0 for key in topology.arc_keys()}
+    for (origin, destination), demand in demands.items():
+        if demand <= 0.0:
+            continue
+        paths = equal_cost_paths(topology, origin, destination, weight=weight)
+        share = demand / len(paths)
+        for path in paths:
+            for arc_key in path.arc_keys():
+                loads[arc_key] += share
+    return loads
+
+
+def ecmp_max_utilisation(
+    topology: Topology,
+    demands: TrafficMatrix,
+    weight: str = "hops",
+) -> float:
+    """Maximum arc utilisation under ECMP splitting."""
+    loads = ecmp_link_loads(topology, demands, weight=weight)
+    utilisations = [
+        load / topology.arc(*key).capacity_bps for key, load in loads.items()
+    ]
+    return max(utilisations, default=0.0)
+
+
+def ecmp_active_elements(
+    topology: Topology,
+    demands: Optional[TrafficMatrix] = None,
+    weight: str = "hops",
+) -> Tuple[set, set]:
+    """Nodes and links kept active by ECMP.
+
+    Every element on any equal-cost shortest path of any pair with positive
+    demand stays active.  With all-pairs demand this is essentially the whole
+    network, which is why ECMP shows no energy proportionality.
+    """
+    active_nodes: set = set()
+    active_links: set = set()
+    if demands is None:
+        pairs: Iterable[Pair] = all_pairs(topology.routers())
+        demand_of = {pair: 1.0 for pair in pairs}
+    else:
+        demand_of = {pair: value for pair, value in demands.items()}
+    for (origin, destination), demand in demand_of.items():
+        if demand <= 0.0:
+            continue
+        for path in equal_cost_paths(topology, origin, destination, weight=weight):
+            active_nodes.update(path.nodes)
+            active_links.update(path.link_keys())
+    return active_nodes, active_links

@@ -1,0 +1,239 @@
+"""Splittable multi-commodity-flow (MCF) feasibility and routing.
+
+The paper's model is "based on the standard multi-commodity flow
+formulation"; without the energy on/off variables the problem is a
+polynomial-time LP.  This module solves that LP — it answers "can this set of
+active elements carry this traffic matrix?", which the framework needs in
+several places:
+
+* calibrating the 100 % utilisation level of a topology (Section 5.1),
+* checking that the always-on paths alone can carry a given load,
+* the recomputation-rate analysis of Figure 1b.
+
+Commodities are aggregated per origin (the standard reduction), so the LP has
+``|arcs| * |origins|`` variables rather than ``|arcs| * |pairs|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from ..exceptions import SolverError
+from ..topology.base import Topology, link_key
+from ..traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class MCFResult:
+    """Outcome of a multi-commodity-flow computation.
+
+    Attributes:
+        feasible: Whether the demand fits within the capacities.
+        max_utilisation: Largest arc utilisation of the computed flow
+            (``inf`` when infeasible).
+        arc_loads: Load per directed arc in bits per second (empty when
+            infeasible).
+        total_flow_bps: Sum of arc loads (a hop-weighted volume; empty when
+            infeasible).
+    """
+
+    feasible: bool
+    max_utilisation: float
+    arc_loads: Dict[Tuple[str, str], float]
+    total_flow_bps: float
+
+
+def solve_mcf(
+    topology: Topology,
+    demands: TrafficMatrix,
+    utilisation_limit: float = 1.0,
+    active_nodes: Optional[Iterable[str]] = None,
+    active_links: Optional[Iterable[Tuple[str, str]]] = None,
+) -> MCFResult:
+    """Solve the splittable MCF feasibility LP.
+
+    Args:
+        topology: The physical topology.
+        demands: Traffic matrix to route.
+        utilisation_limit: Fraction of each arc's capacity that may be used
+            (the paper's safety margin ``sm``).
+        active_nodes: Restrict routing to these nodes (default: all).
+        active_links: Restrict routing to these undirected links
+            (default: all links between active nodes).
+
+    Returns:
+        An :class:`MCFResult`; ``feasible`` is ``False`` both when the LP is
+        infeasible and when some demand endpoint is outside the active set.
+    """
+    nodes: List[str]
+    if active_nodes is None:
+        nodes = topology.nodes()
+    else:
+        nodes = [n for n in topology.nodes() if n in set(active_nodes)]
+    node_set = set(nodes)
+
+    if active_links is None:
+        link_keys = {key for key in topology.link_keys()}
+    else:
+        link_keys = {link_key(u, v) for (u, v) in active_links}
+    arcs = [
+        arc
+        for arc in topology.arcs()
+        if arc.src in node_set
+        and arc.dst in node_set
+        and arc.link_key in link_keys
+    ]
+
+    positive = [(pair, demand) for pair, demand in demands.items() if demand > 0.0]
+    if not positive:
+        return MCFResult(True, 0.0, {arc.key: 0.0 for arc in arcs}, 0.0)
+
+    endpoints = {node for (origin, destination), _ in positive for node in (origin, destination)}
+    if not endpoints <= node_set:
+        return MCFResult(False, float("inf"), {}, 0.0)
+    if not arcs:
+        # Positive demand but no usable arcs at all: trivially infeasible.
+        return MCFResult(False, float("inf"), {}, 0.0)
+
+    # Connectivity pre-check.  Tiny demands (the paper's 1 bit/s ε flows) can
+    # fall below the LP solver's feasibility tolerances once the problem is
+    # rescaled, so disconnection must be detected combinatorially rather than
+    # numerically.
+    adjacency: Dict[str, List[str]] = {}
+    for arc in arcs:
+        adjacency.setdefault(arc.src, []).append(arc.dst)
+    reachable_cache: Dict[str, Set[str]] = {}
+
+    def reachable_from(origin: str) -> Set[str]:
+        if origin not in reachable_cache:
+            seen = {origin}
+            frontier = [origin]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in adjacency.get(current, ()):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            reachable_cache[origin] = seen
+        return reachable_cache[origin]
+
+    for (origin, destination), _demand in positive:
+        if destination not in reachable_from(origin):
+            return MCFResult(False, float("inf"), {}, 0.0)
+
+    # Rescale the LP to dimensionless units (fractions of the largest
+    # capacity).  Demands expressed in bits per second reach 1e8-1e10, which
+    # interacts badly with the solver's absolute feasibility tolerances.
+    scale = max(arc.capacity_bps for arc in arcs) if arcs else 1.0
+
+    origins = sorted({origin for (origin, _), _ in positive})
+    demand_from: Dict[str, Dict[str, float]] = {origin: {} for origin in origins}
+    for (origin, destination), demand in positive:
+        demand_from[origin][destination] = (
+            demand_from[origin].get(destination, 0.0) + demand / scale
+        )
+
+    node_index = {name: index for index, name in enumerate(nodes)}
+    arc_index = {arc.key: index for index, arc in enumerate(arcs)}
+    num_arcs = len(arcs)
+    num_origins = len(origins)
+    num_vars = num_arcs * num_origins
+
+    def var(arc_position: int, origin_position: int) -> int:
+        return origin_position * num_arcs + arc_position
+
+    # Equality constraints: flow conservation per (node, origin).
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs = np.zeros(len(nodes) * num_origins)
+    for origin_position, origin in enumerate(origins):
+        sinks = demand_from[origin]
+        supply = sum(sinks.values())
+        for arc_position, arc in enumerate(arcs):
+            row_src = origin_position * len(nodes) + node_index[arc.src]
+            row_dst = origin_position * len(nodes) + node_index[arc.dst]
+            column = var(arc_position, origin_position)
+            eq_rows.append(row_src)
+            eq_cols.append(column)
+            eq_vals.append(1.0)
+            eq_rows.append(row_dst)
+            eq_cols.append(column)
+            eq_vals.append(-1.0)
+        for node, position in node_index.items():
+            row = origin_position * len(nodes) + position
+            if node == origin:
+                eq_rhs[row] = supply - sinks.get(node, 0.0)
+            else:
+                eq_rhs[row] = -sinks.get(node, 0.0)
+
+    a_eq = sparse.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(len(nodes) * num_origins, num_vars)
+    )
+
+    # Inequality constraints: per-arc capacity.
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    ub_rhs = np.zeros(num_arcs)
+    for arc_position, arc in enumerate(arcs):
+        ub_rhs[arc_position] = arc.capacity_bps * utilisation_limit / scale
+        for origin_position in range(num_origins):
+            ub_rows.append(arc_position)
+            ub_cols.append(var(arc_position, origin_position))
+            ub_vals.append(1.0)
+    a_ub = sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(num_arcs, num_vars))
+
+    # Objective: minimise total flow (discourages cycles and long detours).
+    cost = np.ones(num_vars)
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=ub_rhs,
+        A_eq=a_eq,
+        b_eq=eq_rhs,
+        bounds=(0, None),
+        method="highs",
+    )
+    if result.status == 2:  # infeasible
+        return MCFResult(False, float("inf"), {}, 0.0)
+    if not result.success:
+        raise SolverError(f"MCF solver failed: {result.message}")
+
+    solution = result.x
+    arc_loads: Dict[Tuple[str, str], float] = {}
+    for arc_position, arc in enumerate(arcs):
+        load = float(
+            sum(
+                solution[var(arc_position, origin_position)]
+                for origin_position in range(num_origins)
+            )
+        )
+        arc_loads[arc.key] = load * scale
+    max_utilisation = max(
+        (arc_loads[arc.key] / arc.capacity_bps for arc in arcs), default=0.0
+    )
+    return MCFResult(True, max_utilisation, arc_loads, float(solution.sum()) * scale)
+
+
+def is_demand_feasible(
+    topology: Topology,
+    demands: TrafficMatrix,
+    utilisation_limit: float = 1.0,
+    active_nodes: Optional[Iterable[str]] = None,
+    active_links: Optional[Iterable[Tuple[str, str]]] = None,
+) -> bool:
+    """Whether *demands* can be carried by the (sub)network at all."""
+    return solve_mcf(
+        topology,
+        demands,
+        utilisation_limit=utilisation_limit,
+        active_nodes=active_nodes,
+        active_links=active_links,
+    ).feasible

@@ -1,0 +1,300 @@
+"""Paths, routing tables and routing configurations.
+
+These are the objects REsPoNse installs into network elements:
+
+* a :class:`Path` is an ordered node sequence from an origin to a
+  destination,
+* a :class:`RoutingTable` maps origin-destination pairs to single paths
+  (the paper routes each flow on a single path: the ``f`` variables are
+  binary),
+* a :class:`RoutingConfiguration` is the set of network elements (nodes and
+  undirected links) a routing table plus a demand set keeps active — the
+  object whose churn Figure 2a measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..exceptions import RoutingError
+from ..topology.base import Topology, link_key
+from ..traffic.matrix import Pair, TrafficMatrix
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered sequence of nodes from ``origin`` to ``destination``."""
+
+    nodes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 1:
+            raise RoutingError("a path needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise RoutingError(f"path visits a node twice: {self.nodes}")
+
+    @classmethod
+    def of(cls, nodes: Iterable[str]) -> "Path":
+        """Build a path from any iterable of node names."""
+        return cls(tuple(nodes))
+
+    @property
+    def origin(self) -> str:
+        """First node of the path."""
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> str:
+        """Last node of the path."""
+        return self.nodes[-1]
+
+    @property
+    def num_hops(self) -> int:
+        """Number of arcs traversed."""
+        return len(self.nodes) - 1
+
+    def arc_keys(self) -> List[Tuple[str, str]]:
+        """Directed ``(src, dst)`` arc keys traversed, in order."""
+        return list(zip(self.nodes, self.nodes[1:]))
+
+    def link_keys(self) -> List[Tuple[str, str]]:
+        """Canonical undirected link keys traversed, in order."""
+        return [link_key(src, dst) for src, dst in self.arc_keys()]
+
+    def latency(self, topology: Topology) -> float:
+        """Propagation latency of the path in *topology* (seconds)."""
+        return topology.path_latency(self.nodes)
+
+    def bottleneck_capacity(self, topology: Topology) -> float:
+        """Minimum arc capacity along the path (bits per second)."""
+        return topology.path_capacity(self.nodes)
+
+    def is_valid(self, topology: Topology) -> bool:
+        """Whether every hop is an existing arc of *topology*."""
+        return topology.validate_path(self.nodes)
+
+    def shares_link_with(self, other: "Path") -> bool:
+        """Whether the two paths traverse at least one common undirected link."""
+        return bool(set(self.link_keys()) & set(other.link_keys()))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Path(" + " -> ".join(self.nodes) + ")"
+
+
+class RoutingTable:
+    """A single-path routing: one :class:`Path` per origin-destination pair."""
+
+    def __init__(
+        self,
+        paths: Mapping[Pair, Path] | Mapping[Pair, Iterable[str]],
+        name: str = "routing-table",
+    ) -> None:
+        normalised: Dict[Pair, Path] = {}
+        for pair, value in paths.items():
+            path = value if isinstance(value, Path) else Path.of(value)
+            origin, destination = pair
+            if path.origin != origin or path.destination != destination:
+                raise RoutingError(
+                    f"path {path!r} does not connect pair {pair}"
+                )
+            normalised[pair] = path
+        self._paths = normalised
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def pairs(self) -> List[Pair]:
+        """All origin-destination pairs with an installed path."""
+        return list(self._paths)
+
+    def has_path(self, origin: str, destination: str) -> bool:
+        """Whether a path is installed for the pair."""
+        return (origin, destination) in self._paths
+
+    def path(self, origin: str, destination: str) -> Path:
+        """The installed path for a pair.
+
+        Raises:
+            RoutingError: If the pair has no installed path.
+        """
+        try:
+            return self._paths[(origin, destination)]
+        except KeyError:
+            raise RoutingError(
+                f"no path installed for {(origin, destination)}"
+            ) from None
+
+    def get(self, origin: str, destination: str) -> Optional[Path]:
+        """The installed path for a pair, or ``None``."""
+        return self._paths.get((origin, destination))
+
+    def items(self) -> Iterator[Tuple[Pair, Path]]:
+        """Iterate over ``(pair, path)`` entries."""
+        return iter(self._paths.items())
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._paths
+
+    # ------------------------------------------------------------------ #
+    # Derived element sets and loads
+    # ------------------------------------------------------------------ #
+    def used_nodes(self, pairs: Optional[Iterable[Pair]] = None) -> Set[str]:
+        """Nodes traversed by the installed paths (optionally only some pairs)."""
+        selected = self._select(pairs)
+        return {node for path in selected for node in path.nodes}
+
+    def used_links(self, pairs: Optional[Iterable[Pair]] = None) -> Set[Tuple[str, str]]:
+        """Canonical link keys traversed by the installed paths."""
+        selected = self._select(pairs)
+        return {key for path in selected for key in path.link_keys()}
+
+    def _select(self, pairs: Optional[Iterable[Pair]]) -> List[Path]:
+        if pairs is None:
+            return list(self._paths.values())
+        return [self._paths[pair] for pair in pairs if pair in self._paths]
+
+    def validate(self, topology: Topology) -> bool:
+        """Whether every installed path is valid in *topology*."""
+        return all(path.is_valid(topology) for path in self._paths.values())
+
+    def merged_with(self, other: "RoutingTable", name: Optional[str] = None) -> "RoutingTable":
+        """A table with the other table's entries added (other wins on conflict)."""
+        paths: Dict[Pair, Path] = dict(self._paths)
+        paths.update(dict(other._paths))
+        return RoutingTable(paths, name=name or f"{self.name}+{other.name}")
+
+    def restricted_to(self, pairs: Iterable[Pair]) -> "RoutingTable":
+        """A table keeping only the listed pairs."""
+        wanted = set(pairs)
+        return RoutingTable(
+            {pair: path for pair, path in self._paths.items() if pair in wanted},
+            name=f"{self.name}-restricted",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingTable(name={self.name!r}, pairs={len(self._paths)})"
+
+
+@dataclass(frozen=True)
+class RoutingConfiguration:
+    """The set of active elements implied by a routing and a demand set.
+
+    Two intervals of a trace that keep the same nodes and links active are in
+    the same routing configuration — the unit Figure 2a counts.
+    """
+
+    active_nodes: FrozenSet[str]
+    active_links: FrozenSet[Tuple[str, str]]
+
+    @classmethod
+    def from_routing(
+        cls,
+        routing: RoutingTable,
+        demands: Optional[TrafficMatrix] = None,
+        always_on_nodes: Optional[Iterable[str]] = None,
+    ) -> "RoutingConfiguration":
+        """Configuration keeping active only elements that carry demand.
+
+        When *demands* is ``None`` every installed path counts; otherwise only
+        paths of pairs with strictly positive demand keep their elements
+        active.  *always_on_nodes* (e.g. feeder or host-facing nodes) are
+        added unconditionally.
+        """
+        if demands is None:
+            pairs = routing.pairs()
+        else:
+            pairs = [pair for pair in routing.pairs() if demands[pair] > 0.0]
+        nodes = set(routing.used_nodes(pairs))
+        links = set(routing.used_links(pairs))
+        if always_on_nodes is not None:
+            nodes |= set(always_on_nodes)
+        return cls(frozenset(nodes), frozenset(links))
+
+    @property
+    def signature(self) -> Tuple[FrozenSet[str], FrozenSet[Tuple[str, str]]]:
+        """Hashable identity of the configuration."""
+        return (self.active_nodes, self.active_links)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingConfiguration):
+            return NotImplemented
+        return self.signature == other.signature
+
+    def __hash__(self) -> int:
+        return hash(self.signature)
+
+
+def link_loads(
+    topology: Topology,
+    routing: RoutingTable,
+    demands: TrafficMatrix,
+) -> Dict[Tuple[str, str], float]:
+    """Per-arc load (bits per second) when *demands* follow *routing*.
+
+    Pairs without an installed path are ignored; callers that need strictness
+    should validate coverage first via :func:`uncovered_pairs`.
+    """
+    loads: Dict[Tuple[str, str], float] = {key: 0.0 for key in topology.arc_keys()}
+    for pair, demand in demands.items():
+        if demand <= 0.0:
+            continue
+        path = routing.get(*pair)
+        if path is None:
+            continue
+        for arc_key in path.arc_keys():
+            if arc_key not in loads:
+                raise RoutingError(f"path uses unknown arc {arc_key}")
+            loads[arc_key] += demand
+    return loads
+
+
+def link_utilisations(
+    topology: Topology,
+    routing: RoutingTable,
+    demands: TrafficMatrix,
+) -> Dict[Tuple[str, str], float]:
+    """Per-arc utilisation (load divided by capacity) under *routing*."""
+    loads = link_loads(topology, routing, demands)
+    return {
+        key: load / topology.arc(*key).capacity_bps for key, load in loads.items()
+    }
+
+
+def max_link_utilisation(
+    topology: Topology,
+    routing: RoutingTable,
+    demands: TrafficMatrix,
+) -> float:
+    """The maximum arc utilisation under *routing* (zero for no demand)."""
+    utilisations = link_utilisations(topology, routing, demands)
+    return max(utilisations.values(), default=0.0)
+
+
+def is_feasible(
+    topology: Topology,
+    routing: RoutingTable,
+    demands: TrafficMatrix,
+    utilisation_limit: float = 1.0,
+) -> bool:
+    """Whether routing *demands* along *routing* keeps every arc within limit."""
+    return max_link_utilisation(topology, routing, demands) <= utilisation_limit + 1e-9
+
+
+def uncovered_pairs(routing: RoutingTable, demands: TrafficMatrix) -> List[Pair]:
+    """Demand pairs with positive demand but no installed path."""
+    return [
+        pair
+        for pair, demand in demands.items()
+        if demand > 0.0 and routing.get(*pair) is None
+    ]

@@ -1,0 +1,24 @@
+"""Flow-level network simulator (stand-in for ns-2, Click and ModelNet)."""
+
+from .engine import Controller, Sample, SimulationEngine, SimulationResult
+from .failures import FailureSchedule, LinkEvent
+from .flows import DemandProfile, Flow, constant_demand, stepped_demand
+from .links import LinkState, SimulatedLink
+from .network import DEFAULT_WAKE_DELAY_S, SimulatedNetwork
+
+__all__ = [
+    "Controller",
+    "Sample",
+    "SimulationEngine",
+    "SimulationResult",
+    "FailureSchedule",
+    "LinkEvent",
+    "DemandProfile",
+    "Flow",
+    "constant_demand",
+    "stepped_demand",
+    "LinkState",
+    "SimulatedLink",
+    "DEFAULT_WAKE_DELAY_S",
+    "SimulatedNetwork",
+]

@@ -1,0 +1,59 @@
+"""Failure injection for the flow-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A scheduled link failure or repair.
+
+    Attributes:
+        time_s: Simulation time at which the event takes effect.
+        link: Undirected link endpoints.
+        kind: ``"fail"`` or ``"repair"``.
+    """
+
+    time_s: float
+    link: Tuple[str, str]
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fail", "repair"):
+            raise SimulationError(f"unknown link event kind: {self.kind!r}")
+
+
+class FailureSchedule:
+    """An ordered collection of link failure/repair events."""
+
+    def __init__(self) -> None:
+        self._events: List[LinkEvent] = []
+
+    def fail_at(self, time_s: float, u: str, v: str) -> "FailureSchedule":
+        """Schedule a failure of link ``(u, v)`` at *time_s* (chainable)."""
+        self._events.append(LinkEvent(time_s, (u, v), "fail"))
+        return self
+
+    def repair_at(self, time_s: float, u: str, v: str) -> "FailureSchedule":
+        """Schedule a repair of link ``(u, v)`` at *time_s* (chainable)."""
+        self._events.append(LinkEvent(time_s, (u, v), "repair"))
+        return self
+
+    def events(self) -> List[LinkEvent]:
+        """All events sorted by time."""
+        return sorted(self._events, key=lambda event: event.time_s)
+
+    def due(self, previous_s: float, now_s: float) -> List[LinkEvent]:
+        """Events whose time falls in the half-open interval ``(previous, now]``."""
+        return [
+            event
+            for event in self.events()
+            if previous_s < event.time_s <= now_s + 1e-12
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)

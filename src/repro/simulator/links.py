@@ -1,0 +1,100 @@
+"""Per-link state machine of the flow-level simulator.
+
+Network elements in REsPoNse can be asleep, awake or failed; waking a
+sleeping element takes a hardware-dependent delay (the paper uses 10 ms for
+the Click experiment — "the estimated activation times of future hardware" —
+and 5 s for the ns-2 experiments — "an upper bound on the time reported to
+power on a network port in existing hardware").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..exceptions import SimulationError
+
+
+class LinkState(enum.Enum):
+    """Power/availability state of an undirected link."""
+
+    ACTIVE = "active"
+    SLEEPING = "sleeping"
+    WAKING = "waking"
+    FAILED = "failed"
+
+
+@dataclass
+class SimulatedLink:
+    """Run-time state of one undirected link.
+
+    Attributes:
+        key: Canonical link key ``(u, v)``.
+        capacity_bps: Capacity per direction.
+        latency_s: One-way propagation latency.
+        wake_delay_s: Time needed to go from ``SLEEPING`` to ``ACTIVE``.
+        state: Current :class:`LinkState`.
+    """
+
+    key: Tuple[str, str]
+    capacity_bps: float
+    latency_s: float
+    wake_delay_s: float
+    state: LinkState = LinkState.ACTIVE
+    _wake_ready_at: Optional[float] = field(default=None, repr=False)
+    #: Last simulation time at which the link carried traffic.
+    last_busy_at: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_usable(self) -> bool:
+        """Whether traffic can cross the link right now."""
+        return self.state == LinkState.ACTIVE
+
+    @property
+    def consumes_power(self) -> bool:
+        """Whether the link's ports draw power (active or currently waking)."""
+        return self.state in (LinkState.ACTIVE, LinkState.WAKING)
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def sleep(self) -> None:
+        """Put the link to sleep (only possible when active and idle)."""
+        if self.state == LinkState.FAILED:
+            raise SimulationError(f"cannot sleep failed link {self.key}")
+        if self.state == LinkState.ACTIVE:
+            self.state = LinkState.SLEEPING
+            self._wake_ready_at = None
+
+    def request_wake(self, now_s: float) -> None:
+        """Start waking the link; it becomes usable after ``wake_delay_s``."""
+        if self.state == LinkState.FAILED:
+            return
+        if self.state == LinkState.SLEEPING:
+            self.state = LinkState.WAKING
+            self._wake_ready_at = now_s + self.wake_delay_s
+
+    def fail(self) -> None:
+        """Fail the link (it stops carrying traffic immediately)."""
+        self.state = LinkState.FAILED
+        self._wake_ready_at = None
+
+    def repair(self) -> None:
+        """Repair a failed link; it comes back active."""
+        if self.state == LinkState.FAILED:
+            self.state = LinkState.ACTIVE
+            self._wake_ready_at = None
+
+    def advance(self, now_s: float) -> None:
+        """Complete any pending wake-up whose delay has elapsed."""
+        if (
+            self.state == LinkState.WAKING
+            and self._wake_ready_at is not None
+            and now_s + 1e-12 >= self._wake_ready_at
+        ):
+            self.state = LinkState.ACTIVE
+            self._wake_ready_at = None

@@ -1,0 +1,228 @@
+"""Run-time network state of the flow-level simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import SimulationError
+from ..power.accounting import full_power, network_power
+from ..power.model import PowerModel
+from ..routing.paths import Path
+from ..topology.base import Topology, link_key
+from .flows import Flow
+from .links import LinkState, SimulatedLink
+
+#: Default wake-up delay (the ns-2 experiments' conservative 5 s bound).
+DEFAULT_WAKE_DELAY_S = 5.0
+
+
+class SimulatedNetwork:
+    """Topology plus per-link power/failure state and per-arc load tracking."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        power_model: Optional[PowerModel] = None,
+        wake_delay_s: float = DEFAULT_WAKE_DELAY_S,
+    ) -> None:
+        self.topology = topology
+        self.power_model = power_model
+        self.wake_delay_s = float(wake_delay_s)
+        self._links: Dict[Tuple[str, str], SimulatedLink] = {}
+        for link in topology.links():
+            self._links[link.key] = SimulatedLink(
+                key=link.key,
+                capacity_bps=link.capacity_bps,
+                latency_s=link.latency_s,
+                wake_delay_s=self.wake_delay_s,
+            )
+        self._arc_loads: Dict[Tuple[str, str], float] = {
+            key: 0.0 for key in topology.arc_keys()
+        }
+        self._baseline_power_w = (
+            full_power(topology, power_model).total_w if power_model else 0.0
+        )
+
+    # ------------------------------------------------------------------ #
+    # Link state management
+    # ------------------------------------------------------------------ #
+    def link(self, u: str, v: str) -> SimulatedLink:
+        """The simulated link between two nodes."""
+        try:
+            return self._links[link_key(u, v)]
+        except KeyError:
+            raise SimulationError(f"no link between {u!r} and {v!r}") from None
+
+    def links(self) -> List[SimulatedLink]:
+        """All simulated links."""
+        return list(self._links.values())
+
+    def sleep_idle_links(self, keep_active: Iterable[Tuple[str, str]]) -> None:
+        """Put to sleep every active link not in the keep-active set."""
+        keep = {link_key(u, v) for (u, v) in keep_active}
+        for key, simulated in self._links.items():
+            if key not in keep and simulated.state == LinkState.ACTIVE:
+                simulated.sleep()
+
+    def request_wake(self, links: Iterable[Tuple[str, str]], now_s: float) -> None:
+        """Start waking the listed links."""
+        for u, v in links:
+            self.link(u, v).request_wake(now_s)
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Fail the link between two nodes."""
+        self.link(u, v).fail()
+
+    def repair_link(self, u: str, v: str) -> None:
+        """Repair the link between two nodes."""
+        self.link(u, v).repair()
+
+    def advance(self, now_s: float) -> None:
+        """Advance all link state machines to *now_s*."""
+        for simulated in self._links.values():
+            simulated.advance(now_s)
+
+    # ------------------------------------------------------------------ #
+    # Path usability and rate allocation
+    # ------------------------------------------------------------------ #
+    def path_is_usable(self, path: Path) -> bool:
+        """Whether every link along the path is active."""
+        return all(self._links[key].is_usable for key in path.link_keys())
+
+    def path_has_failure(self, path: Path) -> bool:
+        """Whether some link along the path is failed (not merely asleep)."""
+        return any(self._links[key].state == LinkState.FAILED for key in path.link_keys())
+
+    def path_rtt(self, path: Path) -> float:
+        """Round-trip propagation time along the path."""
+        one_way = sum(self._links[key].latency_s for key in path.link_keys())
+        return 2.0 * one_way
+
+    def max_rtt(self) -> float:
+        """An upper bound on the network round-trip time (diameter based)."""
+        diameter_latency = sum(
+            sorted((link.latency_s for link in self._links.values()), reverse=True)
+        )
+        return 2.0 * diameter_latency if self._links else 0.0
+
+    def allocate_rates(self, flows: List[Flow], now_s: float = 0.0) -> None:
+        """Max-min fair allocation of flow rates over usable paths.
+
+        Flows whose path is unusable (failed, sleeping or waking link) or
+        unassigned receive rate zero.  Every other flow receives at most its
+        offered demand at time *now_s*; progressive filling shares bottleneck
+        capacity equally among the unfrozen flows crossing it.
+        """
+        for key in self._arc_loads:
+            self._arc_loads[key] = 0.0
+
+        routable = [
+            flow
+            for flow in flows
+            if flow.path is not None and self.path_is_usable(flow.path)
+        ]
+        for flow in flows:
+            flow.rate_bps = 0.0
+
+        remaining_capacity: Dict[Tuple[str, str], float] = {}
+        flows_on_arc: Dict[Tuple[str, str], Set[str]] = {}
+        demands: Dict[str, float] = {}
+        for flow in routable:
+            demands[flow.flow_id] = flow.offered_load(now_s)
+        for flow in routable:
+            for arc in flow.path.arc_keys():
+                remaining_capacity.setdefault(
+                    arc, self._links[link_key(*arc)].capacity_bps
+                )
+                flows_on_arc.setdefault(arc, set()).add(flow.flow_id)
+
+        allocation = {flow.flow_id: 0.0 for flow in routable}
+        frozen: Set[str] = set()
+        # Freeze flows whose demand is already satisfied.
+        pending_demand = dict(demands)
+
+        for _ in range(len(routable) + len(remaining_capacity) + 1):
+            unfrozen = [fid for fid in allocation if fid not in frozen]
+            if not unfrozen:
+                break
+            # Per-arc fair share for unfrozen flows.
+            increments: List[float] = []
+            for arc, flow_ids in flows_on_arc.items():
+                active_ids = [fid for fid in flow_ids if fid not in frozen]
+                if not active_ids:
+                    continue
+                increments.append(remaining_capacity[arc] / len(active_ids))
+            demand_limited = min(
+                (pending_demand[fid] for fid in unfrozen), default=float("inf")
+            )
+            if not increments and demand_limited == float("inf"):
+                break
+            step = min(min(increments, default=float("inf")), demand_limited)
+            if step == float("inf"):
+                break
+            step = max(step, 0.0)
+            for fid in unfrozen:
+                allocation[fid] += step
+                pending_demand[fid] -= step
+            for arc, flow_ids in flows_on_arc.items():
+                active_count = sum(1 for fid in flow_ids if fid not in frozen)
+                remaining_capacity[arc] -= step * active_count
+            # Freeze demand-satisfied flows and flows on exhausted arcs.
+            for fid in list(unfrozen):
+                if pending_demand[fid] <= 1e-9:
+                    frozen.add(fid)
+            for arc, flow_ids in flows_on_arc.items():
+                if remaining_capacity[arc] <= 1e-9:
+                    frozen.update(flow_ids)
+            if step <= 1e-12:
+                break
+
+        for flow in routable:
+            flow.rate_bps = allocation[flow.flow_id]
+            for arc in flow.path.arc_keys():
+                self._arc_loads[arc] += flow.rate_bps
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def arc_load(self, src: str, dst: str) -> float:
+        """Load on the directed arc ``src -> dst`` from the last allocation."""
+        return self._arc_loads.get((src, dst), 0.0)
+
+    def arc_utilisation(self, src: str, dst: str) -> float:
+        """Utilisation of the directed arc from the last allocation."""
+        capacity = self.topology.arc(src, dst).capacity_bps
+        return self.arc_load(src, dst) / capacity if capacity > 0 else 0.0
+
+    def path_max_utilisation(self, path: Path) -> float:
+        """Largest arc utilisation along a path (from the last allocation)."""
+        return max(
+            (self.arc_utilisation(src, dst) for src, dst in path.arc_keys()),
+            default=0.0,
+        )
+
+    def active_elements(self) -> Tuple[Set[str], Set[Tuple[str, str]]]:
+        """Nodes and links currently drawing power.
+
+        A link draws power when active or waking; a node draws power when it
+        has at least one such link (or is marked always-powered).
+        """
+        active_links = {
+            key for key, simulated in self._links.items() if simulated.consumes_power
+        }
+        active_nodes: Set[str] = set()
+        for u, v in active_links:
+            active_nodes.add(u)
+            active_nodes.add(v)
+        for name in self.topology.nodes():
+            if self.topology.node(name).always_powered:
+                active_nodes.add(name)
+        return active_nodes, active_links
+
+    def power_percent(self) -> float:
+        """Current power as a percentage of the fully powered network."""
+        if self.power_model is None or self._baseline_power_w <= 0:
+            return 100.0
+        nodes, links = self.active_elements()
+        current = network_power(self.topology, self.power_model, nodes, links).total_w
+        return 100.0 * current / self._baseline_power_w

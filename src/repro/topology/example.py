@@ -1,0 +1,97 @@
+"""The example topology of Figure 3 and the Click testbed of Section 5.3.
+
+The paper's running example has routers ``A``–``K`` (no ``I``).  Sources
+``A``, ``B`` and ``C`` send traffic toward ``K``:
+
+* the **always-on** path goes through the "middle" link ``E - H - K``,
+* the **upper on-demand** path is ``D - G - K`` (reachable from ``A``),
+* the **lower on-demand** path is ``F - J - K`` (reachable from ``C``),
+* the failover paths coincide with the on-demand paths in this topology.
+
+The Click experiment (Figure 7) uses the same topology excluding router
+``B``, with 10 Mb/s links and 16.67 ms per-hop latency, and 5 flows of about
+1 Mb/s from each of ``A`` and ``C`` toward ``K``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..units import mbps, milliseconds
+from .base import Topology
+
+#: Link latency used in the Click experiment (Section 5.3).
+CLICK_LINK_LATENCY_S = milliseconds(16.67)
+
+#: Link capacity used in the Click experiment.
+CLICK_LINK_CAPACITY_BPS = mbps(10)
+
+#: The undirected adjacency of Figure 3.
+EXAMPLE_LINKS: List[Tuple[str, str]] = [
+    ("A", "D"),
+    ("A", "E"),
+    ("B", "E"),
+    ("C", "E"),
+    ("C", "F"),
+    ("D", "G"),
+    ("G", "K"),
+    ("E", "H"),
+    ("H", "K"),
+    ("F", "J"),
+    ("J", "K"),
+]
+
+
+def build_example(
+    include_b: bool = True,
+    capacity_bps: float = CLICK_LINK_CAPACITY_BPS,
+    latency_s: float = CLICK_LINK_LATENCY_S,
+) -> Topology:
+    """Build the Figure 3 example topology.
+
+    Args:
+        include_b: Include router ``B``; the Click experiment of Section 5.3
+            excludes it (10 routers in the figure, 10 Click instances minus
+            the unused ``B`` leaves 9 forwarding routers plus the testbed
+            controller).
+        capacity_bps: Capacity of every link.
+        latency_s: Propagation latency of every link.
+
+    Returns:
+        The example :class:`~repro.topology.base.Topology`.
+    """
+    topo = Topology(name="example-fig3" if include_b else "example-fig3-click")
+    nodes = {node for link in EXAMPLE_LINKS for node in link}
+    if not include_b:
+        nodes.discard("B")
+    for node in sorted(nodes):
+        topo.add_node(node, kind="router")
+    for u, v in EXAMPLE_LINKS:
+        if not include_b and "B" in (u, v):
+            continue
+        topo.add_link(u, v, capacity_bps=capacity_bps, latency_s=latency_s)
+    return topo
+
+
+def example_paths() -> Dict[str, Dict[Tuple[str, str], List[str]]]:
+    """The REsPoNse path sets the paper draws in Figure 3.
+
+    Returns:
+        A mapping with keys ``"always_on"``, ``"on_demand"`` and
+        ``"failover"``, each a mapping from ``(origin, destination)`` to a
+        node path.  Only the ``A``/``C`` → ``K`` pairs used by the Click
+        experiment are listed.
+    """
+    always_on = {
+        ("A", "K"): ["A", "E", "H", "K"],
+        ("C", "K"): ["C", "E", "H", "K"],
+    }
+    on_demand = {
+        ("A", "K"): ["A", "D", "G", "K"],
+        ("C", "K"): ["C", "F", "J", "K"],
+    }
+    failover = {
+        ("A", "K"): ["A", "D", "G", "K"],
+        ("C", "K"): ["C", "F", "J", "K"],
+    }
+    return {"always_on": always_on, "on_demand": on_demand, "failover": failover}

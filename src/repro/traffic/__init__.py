@@ -1,0 +1,58 @@
+"""Traffic matrices, traces and workload generators."""
+
+from .geant_trace import (
+    GEANT_INTERVAL_S,
+    GEANT_TRACE_DAYS,
+    diurnal_factor,
+    generate_geant_trace,
+    trace_time_labels,
+    weekly_factor,
+)
+from .google_trace import (
+    GOOGLE_INTERVAL_S,
+    GOOGLE_TRACE_DAYS,
+    google_trace,
+    google_volume_series,
+    relative_changes,
+)
+from .gravity import gravity_fractions, gravity_matrix, node_weights
+from .matrix import (
+    Pair,
+    TrafficMatrix,
+    all_pairs,
+    select_pairs_among_subset,
+    select_random_pairs,
+)
+from .replay import TraceInterval, TrafficTrace
+from .scaling import calibrate_max_load, utilisation_matrix, utilisation_sweep
+from .sinewave import fattree_sine_pairs, sine_fraction, sine_wave_trace
+
+__all__ = [
+    "GEANT_INTERVAL_S",
+    "GEANT_TRACE_DAYS",
+    "diurnal_factor",
+    "generate_geant_trace",
+    "trace_time_labels",
+    "weekly_factor",
+    "GOOGLE_INTERVAL_S",
+    "GOOGLE_TRACE_DAYS",
+    "google_trace",
+    "google_volume_series",
+    "relative_changes",
+    "gravity_fractions",
+    "gravity_matrix",
+    "node_weights",
+    "Pair",
+    "TrafficMatrix",
+    "all_pairs",
+    "select_pairs_among_subset",
+    "select_random_pairs",
+    "TraceInterval",
+    "TrafficTrace",
+    "calibrate_max_load",
+    "utilisation_matrix",
+    "utilisation_sweep",
+    "fattree_sine_pairs",
+    "sine_fraction",
+    "sine_wave_trace",
+]

@@ -1,0 +1,167 @@
+"""Traffic traces: time-ordered sequences of traffic matrices.
+
+The evaluation replays demand traces (GÉANT 15-minute matrices, Google
+datacenter 5-minute volumes, sine-wave datacenter demand).  A
+:class:`TrafficTrace` is the common container: a fixed measurement interval
+and one :class:`~repro.traffic.matrix.TrafficMatrix` per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import TrafficError
+from .matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One interval of a trace: start time (seconds) and its traffic matrix."""
+
+    start_s: float
+    matrix: TrafficMatrix
+
+
+class TrafficTrace:
+    """A time-ordered sequence of traffic matrices at a fixed interval."""
+
+    def __init__(
+        self,
+        matrices: Sequence[TrafficMatrix],
+        interval_s: float,
+        start_s: float = 0.0,
+        name: str = "trace",
+    ) -> None:
+        if interval_s <= 0:
+            raise TrafficError(f"interval must be positive, got {interval_s}")
+        if not matrices:
+            raise TrafficError("a trace needs at least one matrix")
+        self._matrices: List[TrafficMatrix] = list(matrices)
+        self.interval_s = float(interval_s)
+        self.start_s = float(start_s)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._matrices)
+
+    def __iter__(self) -> Iterator[TraceInterval]:
+        for index, matrix in enumerate(self._matrices):
+            yield TraceInterval(self.start_s + index * self.interval_s, matrix)
+
+    def __getitem__(self, index: int) -> TrafficMatrix:
+        return self._matrices[index]
+
+    def matrices(self) -> List[TrafficMatrix]:
+        """All matrices in order."""
+        return list(self._matrices)
+
+    def timestamps(self) -> List[float]:
+        """Interval start times in seconds."""
+        return [self.start_s + index * self.interval_s for index in range(len(self))]
+
+    @property
+    def duration_s(self) -> float:
+        """Total covered duration in seconds."""
+        return len(self._matrices) * self.interval_s
+
+    def total_series(self) -> List[float]:
+        """Total demand (bps) per interval — the aggregate volume time series."""
+        return [matrix.total_bps for matrix in self._matrices]
+
+    def matrix_at(self, time_s: float) -> TrafficMatrix:
+        """The matrix in effect at wall-clock time *time_s*.
+
+        Times before the trace start clamp to the first matrix; times past the
+        end clamp to the last one.
+        """
+        if time_s <= self.start_s:
+            return self._matrices[0]
+        index = int((time_s - self.start_s) // self.interval_s)
+        if index >= len(self._matrices):
+            index = len(self._matrices) - 1
+        return self._matrices[index]
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def scaled(self, factor: float) -> "TrafficTrace":
+        """A trace with every matrix scaled by *factor*."""
+        return TrafficTrace(
+            [matrix.scaled(factor) for matrix in self._matrices],
+            interval_s=self.interval_s,
+            start_s=self.start_s,
+            name=f"{self.name}×{factor:g}",
+        )
+
+    def subsampled(self, stride: int) -> "TrafficTrace":
+        """Keep every *stride*-th matrix (useful to shorten experiments)."""
+        if stride <= 0:
+            raise TrafficError(f"stride must be positive, got {stride}")
+        return TrafficTrace(
+            self._matrices[::stride],
+            interval_s=self.interval_s * stride,
+            start_s=self.start_s,
+            name=f"{self.name}/{stride}",
+        )
+
+    def sliced(self, start_index: int, end_index: Optional[int] = None) -> "TrafficTrace":
+        """A trace covering the intervals ``[start_index, end_index)``."""
+        matrices = self._matrices[start_index:end_index]
+        if not matrices:
+            raise TrafficError("slice produced an empty trace")
+        return TrafficTrace(
+            matrices,
+            interval_s=self.interval_s,
+            start_s=self.start_s + start_index * self.interval_s,
+            name=f"{self.name}[{start_index}:{end_index}]",
+        )
+
+    def mapped(
+        self, transform: Callable[[TrafficMatrix], TrafficMatrix], name: Optional[str] = None
+    ) -> "TrafficTrace":
+        """Apply *transform* to every matrix."""
+        return TrafficTrace(
+            [transform(matrix) for matrix in self._matrices],
+            interval_s=self.interval_s,
+            start_s=self.start_s,
+            name=name or f"{self.name}-mapped",
+        )
+
+    def peak_matrix(self) -> TrafficMatrix:
+        """The element-wise peak over the whole trace.
+
+        This is the ``d_peak`` input used when computing on-demand paths with
+        knowledge of the peak-hour traffic matrix (Section 4.2).
+        """
+        peak: dict = {}
+        for matrix in self._matrices:
+            for pair, demand in matrix.items():
+                if demand > peak.get(pair, 0.0):
+                    peak[pair] = demand
+        return TrafficMatrix(peak, name=f"{self.name}-peak")
+
+    def offpeak_matrix(self, quantile: float = 0.1) -> TrafficMatrix:
+        """An element-wise low quantile over the trace (the ``d_low`` input)."""
+        import numpy as np
+
+        if not 0.0 <= quantile <= 1.0:
+            raise TrafficError(f"quantile must be in [0, 1], got {quantile}")
+        per_pair: dict = {}
+        for matrix in self._matrices:
+            for pair, demand in matrix.items():
+                per_pair.setdefault(pair, []).append(demand)
+        demands = {
+            pair: float(np.quantile(np.array(values), quantile))
+            for pair, values in per_pair.items()
+        }
+        return TrafficMatrix(demands, name=f"{self.name}-offpeak")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrafficTrace(name={self.name!r}, intervals={len(self)}, "
+            f"interval_s={self.interval_s})"
+        )

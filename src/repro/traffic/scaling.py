@@ -1,0 +1,112 @@
+"""Load calibration: finding the 100 % utilisation point of a topology.
+
+Section 5.1: "we first compute the maximum traffic load as the traffic volume
+that the optimal routing can accommodate if the gravity-determined
+proportions are kept.  We do this by incrementally increasing the traffic
+demand by 10 % up to a point where CPLEX cannot find a routing that can
+accommodate the traffic.  Then, we mark the largest feasible traffic demand
+as the 100 % load."
+
+The feasibility oracle here is the splittable multi-commodity-flow LP
+(:func:`repro.routing.mcf.is_demand_feasible`), which is what "a routing that
+can accommodate the traffic" means once the on/off energy variables are
+dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import TrafficError
+from ..topology.base import Topology
+from .matrix import TrafficMatrix
+
+FeasibilityOracle = Callable[[Topology, TrafficMatrix], bool]
+
+
+def _default_oracle(topology: Topology, demands: TrafficMatrix) -> bool:
+    from ..routing.mcf import is_demand_feasible
+
+    return is_demand_feasible(topology, demands)
+
+
+def calibrate_max_load(
+    topology: Topology,
+    base_matrix: TrafficMatrix,
+    growth_step: float = 0.10,
+    initial_scale: float = 1.0,
+    max_iterations: int = 200,
+    oracle: Optional[FeasibilityOracle] = None,
+) -> float:
+    """Find the largest feasible multiple of *base_matrix*.
+
+    The base matrix's proportions are kept fixed; the total volume is grown
+    multiplicatively by *growth_step* per iteration until the feasibility
+    oracle rejects it, exactly as the paper calibrates the "100 % load".
+
+    Args:
+        topology: The network whose capacity bounds the load.
+        base_matrix: A matrix encoding the (gravity-determined) proportions.
+        growth_step: Fractional increase per iteration (the paper uses 10 %).
+        initial_scale: Multiple of the base matrix to start from.
+        max_iterations: Safety bound on the number of growth steps.
+        oracle: Feasibility test; defaults to the MCF LP.
+
+    Returns:
+        The largest feasible scale factor relative to *base_matrix*.
+
+    Raises:
+        TrafficError: If even ``initial_scale`` is infeasible or the base
+            matrix is empty.
+    """
+    if len(base_matrix) == 0 or base_matrix.total_bps <= 0:
+        raise TrafficError("base matrix carries no traffic; nothing to calibrate")
+    if growth_step <= 0:
+        raise TrafficError(f"growth step must be positive, got {growth_step}")
+    check = oracle or _default_oracle
+
+    scale = float(initial_scale)
+    if not check(topology, base_matrix.scaled(scale)):
+        raise TrafficError(
+            "the initial demand is already infeasible; lower initial_scale"
+        )
+    for _ in range(max_iterations):
+        candidate = scale * (1.0 + growth_step)
+        if not check(topology, base_matrix.scaled(candidate)):
+            return scale
+        scale = candidate
+    return scale
+
+
+def utilisation_matrix(
+    base_matrix: TrafficMatrix,
+    max_scale: float,
+    utilisation_percent: float,
+) -> TrafficMatrix:
+    """The matrix corresponding to ``util-X``: X % of the calibrated maximum."""
+    if utilisation_percent < 0:
+        raise TrafficError(
+            f"utilisation percent must be non-negative, got {utilisation_percent}"
+        )
+    return base_matrix.scaled(max_scale * utilisation_percent / 100.0).scaled(1.0)
+
+
+def utilisation_sweep(
+    topology: Topology,
+    base_matrix: TrafficMatrix,
+    levels_percent: List[float],
+    growth_step: float = 0.10,
+    oracle: Optional[FeasibilityOracle] = None,
+) -> Dict[float, TrafficMatrix]:
+    """Matrices for a sweep of utilisation levels (e.g. util-10/50/100).
+
+    Returns a mapping ``{level_percent: matrix}`` where the 100 % level is the
+    calibrated maximum feasible volume with the base matrix's proportions.
+    """
+    max_scale = calibrate_max_load(
+        topology, base_matrix, growth_step=growth_step, oracle=oracle
+    )
+    return {
+        level: utilisation_matrix(base_matrix, max_scale, level)
+        for level in levels_percent
+    }

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small topologies (the Figure 3 example, a k=4
+fat-tree, a diamond) so that even the MILP-backed tests run in milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power import CiscoRouterPowerModel, CommoditySwitchPowerModel
+from repro.topology import Topology, build_example, build_fattree, build_geant
+from repro.traffic import TrafficMatrix
+from repro.units import mbps
+
+
+@pytest.fixture
+def diamond() -> Topology:
+    """A 4-node diamond: two disjoint 2-hop paths between ``a`` and ``d``."""
+    topo = Topology("diamond")
+    for name in "abcd":
+        topo.add_node(name)
+    topo.add_link("a", "b", capacity_bps=mbps(100), latency_s=0.001)
+    topo.add_link("b", "d", capacity_bps=mbps(100), latency_s=0.001)
+    topo.add_link("a", "c", capacity_bps=mbps(100), latency_s=0.002)
+    topo.add_link("c", "d", capacity_bps=mbps(100), latency_s=0.002)
+    return topo
+
+
+@pytest.fixture
+def line() -> Topology:
+    """A 3-node line ``a - b - c``."""
+    topo = Topology("line")
+    for name in "abc":
+        topo.add_node(name)
+    topo.add_link("a", "b", capacity_bps=mbps(10))
+    topo.add_link("b", "c", capacity_bps=mbps(10))
+    return topo
+
+
+@pytest.fixture
+def example_topology() -> Topology:
+    """The Figure 3 example topology (including router B)."""
+    return build_example(include_b=True)
+
+
+@pytest.fixture
+def click_topology() -> Topology:
+    """The Click testbed topology (Figure 3 without router B)."""
+    return build_example(include_b=False)
+
+
+@pytest.fixture
+def fattree4() -> Topology:
+    """A k=4 fat-tree with hosts."""
+    return build_fattree(4)
+
+
+@pytest.fixture(scope="session")
+def geant() -> Topology:
+    """The GÉANT-like topology (session-scoped: it is immutable in tests)."""
+    return build_geant()
+
+
+@pytest.fixture
+def cisco_model() -> CiscoRouterPowerModel:
+    """The representative ISP power model."""
+    return CiscoRouterPowerModel()
+
+
+@pytest.fixture
+def commodity_model() -> CommoditySwitchPowerModel:
+    """The datacenter commodity-switch power model."""
+    return CommoditySwitchPowerModel(ports_at_peak=4)
+
+
+@pytest.fixture
+def diamond_demands() -> TrafficMatrix:
+    """A small demand set on the diamond topology."""
+    return TrafficMatrix({("a", "d"): mbps(40), ("d", "a"): mbps(10)})

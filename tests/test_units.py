@@ -1,0 +1,40 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_kbps_mbps_gbps_scale_correctly():
+    assert units.kbps(1) == 1_000
+    assert units.mbps(1) == 1_000_000
+    assert units.gbps(1) == 1_000_000_000
+
+
+def test_bandwidth_round_trip():
+    assert units.to_mbps(units.mbps(37.5)) == pytest.approx(37.5)
+    assert units.to_gbps(units.gbps(2.5)) == pytest.approx(2.5)
+
+
+def test_time_helpers():
+    assert units.milliseconds(250) == pytest.approx(0.25)
+    assert units.to_milliseconds(0.02) == pytest.approx(20.0)
+    assert units.minutes(15) == 900
+    assert units.hours(2) == 7200
+    assert units.days(1) == 86_400
+
+
+def test_percent_and_fraction_are_inverses():
+    assert units.percent(0.42) == pytest.approx(42.0)
+    assert units.fraction(42.0) == pytest.approx(0.42)
+    assert units.fraction(units.percent(0.17)) == pytest.approx(0.17)
+
+
+def test_watts_is_identity():
+    assert units.watts(600) == 600.0
+
+
+def test_constants_are_consistent():
+    assert units.HOUR == 60 * units.MINUTE
+    assert units.DAY == 24 * units.HOUR
+    assert units.GIGA == 1_000 * units.MEGA
