@@ -1,11 +1,29 @@
-"""Setuptools shim.
+"""Setuptools packaging for the REsPoNse reproduction.
 
-The project is fully described by ``pyproject.toml``; this file exists so
-that editable installs keep working on machines without the ``wheel``
-package (offline environments), where pip falls back to the legacy
-``setup.py develop`` code path.
+The project is kept installable with a plain ``setup.py`` (no ``wheel`` /
+``pyproject.toml`` machinery) so that editable installs keep working on
+machines without build isolation (offline environments), where pip falls
+back to the legacy ``setup.py develop`` code path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-response",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Identifying and using energy-critical paths' "
+        "(REsPoNse, CoNEXT 2011)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

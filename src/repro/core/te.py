@@ -16,12 +16,21 @@ and simultaneously minimizes energy".  Agents
 Stability follows the TeXCP recipe the paper cites: decisions are made only
 at probe epochs, shifts use hysteresis (a lower deactivation threshold), and
 a flow moves at most once per probe period.
+
+The probe-epoch aggregation is array-based: the controller works against a
+planned per-arc load vector (a copy of the network's
+:meth:`~repro.simulator.network.SimulatedNetwork.arc_load_vector`) and
+evaluates path utilisations with NumPy gathers over each installed path's
+precompiled arc indices.  All installed paths are compiled into the
+network's arc table once, at :meth:`ResponseTEController.initialise` time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..routing.paths import Path
@@ -40,7 +49,8 @@ class TEConfig:
         release_threshold: Hysteresis: traffic returns to the always-on path
             only when its utilisation falls below this value.
         probe_interval_s: Probe period ``T``; ``None`` uses the network's
-            maximum RTT (the paper's default).
+            maximum RTT (the paper's default), floored at 1 ms so that
+            degenerate topologies cannot produce a zero-length epoch.
         failure_detection_delay_s: Time before an agent learns that a link on
             one of its paths failed (detection plus propagation to sources).
         allow_failover_for_load: Whether load (not only failures) may spill
@@ -74,7 +84,21 @@ class TEConfig:
 
 
 class ResponseTEController:
-    """The online TE controller driven by the simulation engine."""
+    """The online TE controller driven by the simulation engine.
+
+    Every step the controller (i) moves flows off failed paths once the
+    detection delay has elapsed, (ii) completes deferred shifts whose target
+    path finished waking, and — at probe epochs only — (iii) shifts flows
+    between the always-on and on-demand tables against a planned per-arc
+    load vector, so that flows shifted within one epoch see each other's
+    moves (the TeXCP-style stability ingredient).  Finally it puts every
+    link not needed by a current or pending path (nor by the always-on
+    element set) to sleep.
+
+    At :meth:`initialise` time every installed path of every table is
+    compiled into the network's integer-indexed arc table, so the per-epoch
+    utilisation checks are NumPy gathers rather than per-arc dict walks.
+    """
 
     def __init__(self, plan: ResponsePlan, config: Optional[TEConfig] = None) -> None:
         self.plan = plan
@@ -91,7 +115,14 @@ class ResponseTEController:
     # Controller interface
     # ------------------------------------------------------------------ #
     def initialise(self, network: SimulatedNetwork, flows: List[Flow], now_s: float) -> None:
-        """Assign every flow to its always-on path and set the probe clock."""
+        """Assign every flow to its always-on path and set the probe clock.
+
+        Also compiles every installed path into the network's arc table
+        (plan-installation time), so the simulation loop never pays the
+        path-to-indices translation again.
+        """
+        for path in self.plan.iter_paths():
+            network.compile_path(path)
         self._probe_interval = (
             self.config.probe_interval_s
             if self.config.probe_interval_s is not None
@@ -200,22 +231,22 @@ class ResponseTEController:
         # shifted within the same probe epoch see each other's moves — this is
         # the stability ingredient (TeXCP-style) that prevents all flows of a
         # hot link from stampeding to the same on-demand path and back.
-        planned: Dict[Tuple[str, str], float] = {
-            key: network.arc_load(*key) for key in network.topology.arc_keys()
-        }
+        planned = network.arc_load_vector().copy()
+        capacities = network.arc_table.arc_capacity
 
         def planned_utilisation(path: Path, extra_demand: float = 0.0) -> float:
-            worst = 0.0
-            for src, dst in path.arc_keys():
-                capacity = network.topology.arc(src, dst).capacity_bps
-                worst = max(worst, (planned[(src, dst)] + extra_demand) / capacity)
-            return worst
+            indices = network.compile_path(path).arc_indices
+            if indices.size == 0:
+                return 0.0
+            return float(
+                ((planned[indices] + extra_demand) / capacities[indices]).max()
+            )
 
         def move_load(path: Optional[Path], delta: float) -> None:
             if path is None:
                 return
-            for arc in path.arc_keys():
-                planned[arc] = max(0.0, planned[arc] + delta)
+            indices = network.compile_path(path).arc_indices
+            planned[indices] = np.maximum(0.0, planned[indices] + delta)
 
         for flow in flows:
             current_index = self._assignment.get(flow.flow_id, 0)

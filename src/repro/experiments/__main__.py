@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — run figure reproductions as a sweep."""
+
+from .runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

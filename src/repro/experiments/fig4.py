@@ -21,6 +21,7 @@ from ..power.commodity import CommoditySwitchPowerModel
 from ..routing.ecmp import ecmp_active_elements
 from ..topology.fattree import build_fattree, hosts
 from ..traffic.sinewave import fattree_sine_pairs, sine_wave_trace
+from .runner import Sweep
 
 
 @dataclass
@@ -55,56 +56,98 @@ class Fig4Result:
         return 100.0 - sum(series) / len(series)
 
 
+def _fig4_mode_power(
+    k: int,
+    mode: str,
+    num_intervals: int,
+    utilisation_threshold: float,
+    include_elastictree: bool,
+    seed: int,
+) -> Dict[str, List[float]]:
+    """Power series of one traffic mode (a sweep point; importable top-level)."""
+    topology = build_fattree(k)
+    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
+    baseline = full_power(topology, power_model).total_w
+
+    trace = sine_wave_trace(topology, mode=mode, num_intervals=num_intervals, seed=seed)
+    pairs = fattree_sine_pairs(topology, mode, seed=seed)
+    plan = build_response_plan(
+        topology,
+        power_model,
+        pairs=pairs,
+        config=ResponseConfig(num_paths=3, k=4, include_failover=True),
+    )
+    series: Dict[str, List[float]] = {"response": []}
+    if include_elastictree:
+        series["elastictree"] = []
+    for matrix in trace.matrices():
+        activation = activate_paths(
+            topology,
+            power_model,
+            plan,
+            matrix,
+            utilisation_threshold=utilisation_threshold,
+        )
+        series["response"].append(activation.power_percent)
+        if include_elastictree:
+            subset = elastictree_subset(topology, power_model, matrix)
+            series["elastictree"].append(100.0 * subset.power_w / baseline)
+    return series
+
+
+def _fig4_ecmp_power(k: int, num_intervals: int, seed: int) -> List[float]:
+    """ECMP power series (a sweep point; importable top-level).
+
+    ECMP keeps every element on any shortest path active; with all-pairs
+    demand that is the whole switching fabric, so its power is flat.
+    """
+    topology = build_fattree(k)
+    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
+    baseline = full_power(topology, power_model).total_w
+    far_trace = sine_wave_trace(topology, mode="far", num_intervals=num_intervals, seed=seed)
+    power: List[float] = []
+    for matrix in far_trace.matrices():
+        nodes, links = ecmp_active_elements(topology, matrix)
+        ecmp_power = network_power(topology, power_model, nodes, links).total_w
+        power.append(100.0 * ecmp_power / baseline)
+    return power
+
+
 def run_fig4(
     k: int = 4,
     num_intervals: int = 11,
     utilisation_threshold: float = 0.9,
     include_elastictree: bool = True,
     seed: int = 4,
+    parallel: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Fig4Result:
-    """Reproduce Figure 4 on a k-ary fat-tree with sine-wave demand."""
-    topology = build_fattree(k)
-    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
-    baseline = full_power(topology, power_model).total_w
+    """Reproduce Figure 4 on a k-ary fat-tree with sine-wave demand.
+
+    The near/far traffic modes and the ECMP baseline are independent sweep
+    points: pass ``parallel=True`` to fan them out over processes and
+    ``cache_dir`` to reuse results across runs (see
+    :mod:`repro.experiments.runner`).
+    """
+    sweep = Sweep(cache_dir=cache_dir)
+    for mode in ("near", "far"):
+        sweep.add(
+            _fig4_mode_power,
+            label=mode,
+            k=k,
+            mode=mode,
+            num_intervals=num_intervals,
+            utilisation_threshold=utilisation_threshold,
+            include_elastictree=include_elastictree,
+            seed=seed,
+        )
+    sweep.add(_fig4_ecmp_power, label="ecmp", k=k, num_intervals=num_intervals, seed=seed)
+    by_label = sweep.run_labelled(parallel=parallel)
 
     times = [float(index) for index in range(num_intervals)]
-    power: Dict[str, List[float]] = {
-        "ecmp": [],
-        "response_near": [],
-        "response_far": [],
-    }
-    if include_elastictree:
-        power["elastictree_near"] = []
-        power["elastictree_far"] = []
-
+    power: Dict[str, List[float]] = {"ecmp": by_label["ecmp"]}
     for mode in ("near", "far"):
-        trace = sine_wave_trace(topology, mode=mode, num_intervals=num_intervals, seed=seed)
-        pairs = fattree_sine_pairs(topology, mode, seed=seed)
-        plan = build_response_plan(
-            topology,
-            power_model,
-            pairs=pairs,
-            config=ResponseConfig(num_paths=3, k=4, include_failover=True),
-        )
-        for matrix in trace.matrices():
-            activation = activate_paths(
-                topology,
-                power_model,
-                plan,
-                matrix,
-                utilisation_threshold=utilisation_threshold,
-            )
-            power[f"response_{mode}"].append(activation.power_percent)
-            if include_elastictree:
-                subset = elastictree_subset(topology, power_model, matrix)
-                power[f"elastictree_{mode}"].append(100.0 * subset.power_w / baseline)
-
-    # ECMP keeps every element on any shortest path active; with all-pairs
-    # demand that is the whole switching fabric, so its power is flat.
-    far_trace = sine_wave_trace(topology, mode="far", num_intervals=num_intervals, seed=seed)
-    for matrix in far_trace.matrices():
-        nodes, links = ecmp_active_elements(topology, matrix)
-        ecmp_power = network_power(topology, power_model, nodes, links).total_w
-        power["ecmp"].append(100.0 * ecmp_power / baseline)
-
+        power[f"response_{mode}"] = by_label[mode]["response"]
+        if include_elastictree:
+            power[f"elastictree_{mode}"] = by_label[mode]["elastictree"]
     return Fig4Result(times=times, power_percent=power)

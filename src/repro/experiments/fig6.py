@@ -12,6 +12,7 @@ recomputation lower-bounds them all.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 from ..core.planner import activate_paths
@@ -25,6 +26,7 @@ from ..topology.rocketfuel import build_genuity
 from ..traffic.gravity import gravity_matrix
 from ..traffic.matrix import select_pairs_among_subset
 from ..traffic.scaling import calibrate_max_load
+from .runner import Sweep
 
 #: Variants plotted in the figure, in its legend order.
 FIG6_VARIANTS = (
@@ -65,81 +67,114 @@ class Fig6Result:
         return 100.0 - self.power_percent[variant][index]
 
 
-def run_fig6(
-    utilisation_levels: Sequence[float] = (10.0, 50.0, 100.0),
-    num_pairs: int = 150,
-    num_endpoints: int = 26,
-    utilisation_threshold: float = 0.95,
-    latency_beta: float = 0.25,
-    k: int = 3,
-    power_model: Optional[PowerModel] = None,
-    seed: int = 1,
-) -> Fig6Result:
-    """Reproduce Figure 6 on the synthetic Genuity topology.
+def _fig6_setup(
+    utilisation_levels: Sequence[float],
+    num_pairs: int,
+    num_endpoints: int,
+    power_model: Optional[PowerModel],
+    seed: int,
+):
+    """Topology, model, baseline, pairs and per-level demand matrices.
 
-    Args:
-        utilisation_levels: Levels (percent of the calibrated maximum load).
-        num_pairs: Random origin-destination pairs carrying gravity traffic.
-        num_endpoints: Size of the random subset of PoPs acting as origins
-            and destinations.
-        utilisation_threshold: REsPoNseTE's activation SLO during the replay.
-        latency_beta: Latency bound of the REsPoNse-lat variant.
-        k: Candidate paths per pair for the solvers.
-        power_model: Power model (Cisco 12000 by default).
-        seed: Seed for the pair selection and topology generation.
+    Deterministic given the parameters, so every sweep point can rebuild
+    the shared setup independently (which is what makes the variants
+    embarrassingly parallel).  Within one process the result is memoised,
+    so a serial sweep pays for the calibration once, like the seed did;
+    the returned objects are shared and must be treated as read-only.
     """
+    try:
+        return _fig6_setup_cached(
+            tuple(utilisation_levels), num_pairs, num_endpoints, power_model, seed
+        )
+    except TypeError:  # unhashable custom power model: compute uncached
+        return _fig6_setup_impl(
+            tuple(utilisation_levels), num_pairs, num_endpoints, power_model, seed
+        )
+
+
+def _fig6_setup_impl(
+    utilisation_levels: Sequence[float],
+    num_pairs: int,
+    num_endpoints: int,
+    power_model: Optional[PowerModel],
+    seed: int,
+):
     topology = build_genuity()
     model = power_model or CiscoRouterPowerModel()
     baseline = full_power(topology, model).total_w
     pairs = select_pairs_among_subset(
         topology.routers(), num_endpoints, num_pairs, seed=seed
     )
-
     base = gravity_matrix(topology, total_traffic_bps=1e9, pairs=pairs)
     max_scale = calibrate_max_load(topology, base)
     matrices = {
         level: base.scaled(max_scale * level / 100.0) for level in utilisation_levels
     }
-    peak_matrix = matrices[max(utilisation_levels)]
+    return topology, model, baseline, pairs, matrices
 
-    plans = {
-        "response": build_response_plan(
-            topology, model, pairs=pairs, config=ResponseConfig(num_paths=3, k=k)
-        ),
-        "response-lat": build_response_plan(
-            topology,
-            model,
-            pairs=pairs,
-            config=ResponseConfig(num_paths=3, k=k, latency_beta=latency_beta),
-        ),
-        "response-ospf": build_response_plan(
-            topology,
-            model,
-            pairs=pairs,
-            config=ResponseConfig(num_paths=3, k=k, on_demand_method="ospf"),
-        ),
-        "response-heuristic": build_response_plan(
-            topology,
-            model,
-            pairs=pairs,
-            peak_matrix=peak_matrix,
-            config=ResponseConfig(num_paths=3, k=k, on_demand_method="heuristic"),
+
+_fig6_setup_cached = lru_cache(maxsize=4)(_fig6_setup_impl)
+
+
+def _fig6_variant_power(
+    variant: str,
+    utilisation_levels: Sequence[float],
+    num_pairs: int,
+    num_endpoints: int,
+    utilisation_threshold: float,
+    latency_beta: float,
+    k: int,
+    power_model: Optional[PowerModel],
+    seed: int,
+) -> List[float]:
+    """Power series of one REsPoNse variant (a sweep point)."""
+    topology, model, _baseline, pairs, matrices = _fig6_setup(
+        utilisation_levels, num_pairs, num_endpoints, power_model, seed
+    )
+    peak_matrix = matrices[max(utilisation_levels)]
+    configs = {
+        "response": ResponseConfig(num_paths=3, k=k),
+        "response-lat": ResponseConfig(num_paths=3, k=k, latency_beta=latency_beta),
+        "response-ospf": ResponseConfig(num_paths=3, k=k, on_demand_method="ospf"),
+        "response-heuristic": ResponseConfig(
+            num_paths=3, k=k, on_demand_method="heuristic"
         ),
     }
+    plan = build_response_plan(
+        topology,
+        model,
+        pairs=pairs,
+        peak_matrix=peak_matrix if variant == "response-heuristic" else None,
+        config=configs[variant],
+    )
+    power: List[float] = []
+    for level in utilisation_levels:
+        activation = activate_paths(
+            topology,
+            model,
+            plan,
+            matrices[level],
+            utilisation_threshold=utilisation_threshold,
+        )
+        power.append(activation.power_percent)
+    return power
 
-    power_percent: Dict[str, List[float]] = {variant: [] for variant in FIG6_VARIANTS}
+
+def _fig6_optimal_power(
+    utilisation_levels: Sequence[float],
+    num_pairs: int,
+    num_endpoints: int,
+    k: int,
+    power_model: Optional[PowerModel],
+    seed: int,
+) -> List[float]:
+    """Per-level optimal recomputation lower bound (a sweep point)."""
+    topology, model, baseline, _pairs, matrices = _fig6_setup(
+        utilisation_levels, num_pairs, num_endpoints, power_model, seed
+    )
+    power: List[float] = []
     for level in utilisation_levels:
         demands = matrices[level]
-        for variant, plan in plans.items():
-            activation = activate_paths(
-                topology,
-                model,
-                plan,
-                demands,
-                utilisation_threshold=utilisation_threshold,
-            )
-            power_percent[variant].append(activation.power_percent)
-        # "Optimal": recompute the minimal subset for this exact demand.
         try:
             optimal = solve_path_milp(
                 topology,
@@ -155,8 +190,69 @@ def run_fig6(
             optimal_power = greente_heuristic(
                 topology, model, demands, k=k, allow_overload=True
             ).power_w
-        power_percent["optimal"].append(100.0 * optimal_power / baseline)
+        power.append(100.0 * optimal_power / baseline)
+    return power
 
+
+def run_fig6(
+    utilisation_levels: Sequence[float] = (10.0, 50.0, 100.0),
+    num_pairs: int = 150,
+    num_endpoints: int = 26,
+    utilisation_threshold: float = 0.95,
+    latency_beta: float = 0.25,
+    k: int = 3,
+    power_model: Optional[PowerModel] = None,
+    seed: int = 1,
+    parallel: bool = False,
+    cache_dir: Optional[str] = None,
+) -> Fig6Result:
+    """Reproduce Figure 6 on the synthetic Genuity topology.
+
+    Every variant (and the optimal lower bound) is an independent sweep
+    point fanned out through :mod:`repro.experiments.runner`.
+
+    Args:
+        utilisation_levels: Levels (percent of the calibrated maximum load).
+        num_pairs: Random origin-destination pairs carrying gravity traffic.
+        num_endpoints: Size of the random subset of PoPs acting as origins
+            and destinations.
+        utilisation_threshold: REsPoNseTE's activation SLO during the replay.
+        latency_beta: Latency bound of the REsPoNse-lat variant.
+        k: Candidate paths per pair for the solvers.
+        power_model: Power model (Cisco 12000 by default).
+        seed: Seed for the pair selection and topology generation.
+        parallel: Evaluate the variants over worker processes.
+        cache_dir: Cache per-variant results under this directory.
+    """
+    levels = tuple(utilisation_levels)
+    sweep = Sweep(cache_dir=cache_dir)
+    for variant in FIG6_VARIANTS:
+        if variant == "optimal":
+            sweep.add(
+                _fig6_optimal_power,
+                label=variant,
+                utilisation_levels=levels,
+                num_pairs=num_pairs,
+                num_endpoints=num_endpoints,
+                k=k,
+                power_model=power_model,
+                seed=seed,
+            )
+        else:
+            sweep.add(
+                _fig6_variant_power,
+                label=variant,
+                variant=variant,
+                utilisation_levels=levels,
+                num_pairs=num_pairs,
+                num_endpoints=num_endpoints,
+                utilisation_threshold=utilisation_threshold,
+                latency_beta=latency_beta,
+                k=k,
+                power_model=power_model,
+                seed=seed,
+            )
+    power_percent = sweep.run_labelled(parallel=parallel)
     return Fig6Result(
-        utilisation_levels=list(utilisation_levels), power_percent=power_percent
+        utilisation_levels=list(levels), power_percent=power_percent
     )

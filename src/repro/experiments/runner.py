@@ -1,0 +1,386 @@
+"""Parallel experiment sweeps with per-point disk caching.
+
+Reproducing the paper's larger figures means evaluating many independent
+experiment points (figure variants, utilisation levels, client populations,
+whole figures).  A :class:`Sweep` collects such points — each one an
+importable function plus keyword parameters — and executes them either
+serially or fanned out over :mod:`multiprocessing` workers, with identical
+results either way.  Every point can be cached to disk keyed by a stable
+hash of its function reference and parameters, so re-running a sweep (or a
+benchmark driver) only pays for points whose configuration changed.
+
+Three layers use this module:
+
+* the ``fig*`` experiment drivers fan their internal scenario points out
+  through a sweep (``run_fig4(parallel=True)`` etc.),
+* the :mod:`benchmarks` drivers thread optional ``parallel``/``cache_dir``
+  settings through to those drivers, and
+* the command line: ``python -m repro.experiments fig4 fig7`` runs whole
+  figures as sweep points (see :func:`main`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import importlib
+import inspect
+import itertools
+import json
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass
+from multiprocessing import cpu_count, get_all_start_methods, get_context
+from pathlib import Path as FilePath
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import ConfigurationError
+
+#: Bump to invalidate every cached sweep point after incompatible changes.
+CACHE_VERSION = 1
+
+#: Figures runnable from the command line, resolved lazily by the workers.
+FIGURE_REGISTRY: Dict[str, str] = {
+    "fig1a": "repro.experiments.fig1a:run_fig1a",
+    "fig1b": "repro.experiments.fig1b:run_fig1b",
+    "fig2a": "repro.experiments.fig2a:run_fig2a",
+    "fig2b": "repro.experiments.fig2b:run_fig2b",
+    "fig4": "repro.experiments.fig4:run_fig4",
+    "fig5": "repro.experiments.fig5:run_fig5",
+    "fig6": "repro.experiments.fig6:run_fig6",
+    "fig7": "repro.experiments.fig7:run_fig7",
+    "fig8a": "repro.experiments.fig8a:run_fig8a",
+    "fig8b": "repro.experiments.fig8b:run_fig8b",
+    "fig9": "repro.experiments.fig9:run_fig9",
+    "always_on_capacity": "repro.experiments.always_on_capacity:run_always_on_capacity",
+    "stress_ablation": "repro.experiments.stress_ablation:run_stress_ablation",
+    "web_latency": "repro.experiments.web_latency:run_web_latency",
+}
+
+
+def function_reference(function: Union[str, Callable[..., Any]]) -> str:
+    """The stable ``"module:qualname"`` reference of a sweep function.
+
+    Raises:
+        ConfigurationError: If the callable cannot be re-imported by a
+            worker process (lambdas, locals, ``__main__`` definitions).
+    """
+    if isinstance(function, str):
+        if ":" not in function:
+            raise ConfigurationError(
+                f"function reference {function!r} must look like 'module:name'"
+            )
+        return function
+    module = getattr(function, "__module__", None)
+    qualname = getattr(function, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname or "<lambda>" in qualname:
+        raise ConfigurationError(
+            f"sweep functions must be importable module-level callables, got {function!r}"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_function(reference: str) -> Callable[..., Any]:
+    """Import and return the callable behind a ``"module:qualname"`` reference."""
+    module_name, _, qualname = reference.partition(":")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One experiment point: an importable function plus its parameters.
+
+    Attributes:
+        function: ``"module:qualname"`` reference of the point function.
+        params: Keyword parameters, as a sorted tuple of ``(name, value)``
+            pairs (kept hashable so points can be deduplicated).
+        label: Human-readable label used in summaries and result maps.
+    """
+
+    function: str
+    params: Tuple[Tuple[str, Any], ...]
+    label: str
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as a keyword-argument dictionary."""
+        return dict(self.params)
+
+    def config_hash(self) -> str:
+        """Stable hash identifying the point's configuration on disk."""
+        payload = json.dumps(
+            {
+                "cache_version": CACHE_VERSION,
+                "function": self.function,
+                "params": {
+                    name: _canonical_value(value) for name, value in self.params
+                },
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: ``object.__repr__`` embeds the instance address — never stable on disk.
+_MEMORY_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def _canonical_value(value: Any) -> Any:
+    """A JSON-serialisable, process-stable view of a parameter value.
+
+    Primitives and containers pass through structurally; dataclasses and
+    plain objects become ``[class name, attributes]`` so that two equal
+    configurations hash identically across runs.  The last-resort ``repr``
+    must not carry a memory address: an address-bearing key would either
+    defeat the cache (never hit) or, after address reuse, silently alias a
+    different configuration's entry — so such values are rejected instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if inspect.isroutine(value) or inspect.isclass(value):
+        # Functions/classes canonicalise to their import reference; lambdas
+        # and locals raise (a silent shared hash would alias cache entries).
+        return function_reference(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical_value(item) for item in value)
+    if isinstance(value, Mapping):
+        return {str(key): _canonical_value(item) for key, item in sorted(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [type(value).__qualname__, _canonical_value(dataclasses.asdict(value))]
+    attributes = getattr(value, "__dict__", None)
+    if isinstance(attributes, dict):
+        return [type(value).__qualname__, _canonical_value(attributes)]
+    representation = repr(value)
+    if _MEMORY_ADDRESS.search(representation):
+        raise ConfigurationError(
+            f"cannot build a stable cache key for {type(value).__qualname__!r}: "
+            "its repr embeds a memory address; use a dataclass, an object with "
+            "__dict__ attributes, or a custom state-bearing __repr__"
+        )
+    return representation
+
+
+def point(
+    function: Union[str, Callable[..., Any]],
+    label: Optional[str] = None,
+    **params: Any,
+) -> SweepPoint:
+    """Build a :class:`SweepPoint` from a callable (or reference) and kwargs."""
+    reference = function_reference(function)
+    return SweepPoint(
+        function=reference,
+        params=tuple(sorted(params.items())),
+        label=label if label is not None else reference.partition(":")[2],
+    )
+
+
+def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """The cartesian product of named axes as parameter dictionaries.
+
+    ``grid(k=[4, 8], seed=[0, 1])`` yields four dictionaries, varying the
+    rightmost axis fastest — handy for building sweep points in bulk.
+    """
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+
+def _cache_file(cache_dir: Union[str, os.PathLike], sweep_point: SweepPoint) -> FilePath:
+    name = sweep_point.function.rpartition(":")[2].strip("_") or "point"
+    return FilePath(cache_dir) / f"{name}-{sweep_point.config_hash()[:16]}.pkl"
+
+
+def execute_point(
+    sweep_point: SweepPoint, cache_dir: Optional[Union[str, os.PathLike]] = None
+) -> Any:
+    """Run one point, reading/writing the disk cache when enabled.
+
+    This is the single code path used by both serial and parallel execution
+    (it is the function the worker processes run), which is what guarantees
+    parallel/serial result equality.
+    """
+    cache_path = _cache_file(cache_dir, sweep_point) if cache_dir else None
+    if cache_path is not None and cache_path.exists():
+        try:
+            with open(cache_path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            cache_path.unlink(missing_ok=True)  # corrupt entry: recompute
+    result = resolve_function(sweep_point.function)(**sweep_point.kwargs())
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish so parallel workers never observe partial pickles.
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=cache_path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(temp_name, cache_path)
+        except Exception:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+    return result
+
+
+class Sweep:
+    """A set of experiment points executed serially or over worker processes.
+
+    Example::
+
+        sweep = Sweep(cache_dir=".sweep-cache")
+        for params in grid(seed=[0, 1, 2]):
+            sweep.add(run_fig4, label=f"seed{params['seed']}", **params)
+        results = sweep.run(parallel=True)
+    """
+
+    def __init__(
+        self,
+        points: Optional[Iterable[SweepPoint]] = None,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        self.points: List[SweepPoint] = list(points or [])
+        self.cache_dir = cache_dir
+        self.processes = processes
+
+    def add(
+        self,
+        function: Union[str, Callable[..., Any]],
+        label: Optional[str] = None,
+        **params: Any,
+    ) -> "Sweep":
+        """Append a point; returns ``self`` for chaining."""
+        self.points.append(point(function, label=label, **params))
+        return self
+
+    def run(self, parallel: bool = False) -> List[Any]:
+        """Execute every point, preserving point order in the result list.
+
+        Args:
+            parallel: Fan the points out over a process pool.  Falls back
+                to serial execution when fewer than two points exist or the
+                platform offers no ``fork`` start method (worker processes
+                must be able to resolve the point functions).
+        """
+        if not self.points:
+            return []
+        if parallel and len(self.points) > 1 and "fork" in get_all_start_methods():
+            processes = self.processes or min(len(self.points), cpu_count())
+            context = get_context("fork")
+            with context.Pool(processes=processes) as pool:
+                return pool.starmap(
+                    execute_point,
+                    [(sweep_point, self.cache_dir) for sweep_point in self.points],
+                )
+        return [execute_point(sweep_point, self.cache_dir) for sweep_point in self.points]
+
+    def run_labelled(self, parallel: bool = False) -> Dict[str, Any]:
+        """Like :meth:`run` but keyed by point label (labels must be unique)."""
+        labels = [sweep_point.label for sweep_point in self.points]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"sweep labels are not unique: {labels}")
+        return dict(zip(labels, self.run(parallel=parallel)))
+
+    def cached_points(self) -> List[SweepPoint]:
+        """The points whose results are already on disk."""
+        if not self.cache_dir:
+            return []
+        return [
+            sweep_point
+            for sweep_point in self.points
+            if _cache_file(self.cache_dir, sweep_point).exists()
+        ]
+
+    def clear_cache(self) -> int:
+        """Delete this sweep's cached results; returns how many were removed."""
+        removed = 0
+        if not self.cache_dir:
+            return removed
+        for sweep_point in self.points:
+            cache_path = _cache_file(self.cache_dir, sweep_point)
+            if cache_path.exists():
+                cache_path.unlink()
+                removed += 1
+        return removed
+
+
+def run_sweep(
+    function: Union[str, Callable[..., Any]],
+    points: Sequence[Mapping[str, Any]],
+    labels: Optional[Sequence[str]] = None,
+    parallel: bool = False,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    processes: Optional[int] = None,
+) -> List[Any]:
+    """Convenience wrapper: one function evaluated at many parameter points."""
+    sweep = Sweep(cache_dir=cache_dir, processes=processes)
+    for index, params in enumerate(points):
+        label = labels[index] if labels is not None else f"point-{index}"
+        sweep.add(function, label=label, **params)
+    return sweep.run(parallel=parallel)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point: run registered figure experiments as a sweep."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run figure reproductions, optionally in parallel with caching.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="registered experiment names (see --list); default: all",
+    )
+    parser.add_argument("--list", action="store_true", help="list registered experiments")
+    parser.add_argument("--parallel", action="store_true", help="fan out over processes")
+    parser.add_argument("--processes", type=int, default=None, help="pool size")
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache per-point results under this directory"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(FIGURE_REGISTRY):
+            print(name)
+        return 0
+
+    requested = list(args.experiments) or sorted(FIGURE_REGISTRY)
+    names = list(dict.fromkeys(requested))  # dedupe, preserving order
+    unknown = [name for name in names if name not in FIGURE_REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} (try --list)")
+
+    sweep = Sweep(cache_dir=args.cache_dir, processes=args.processes)
+    for name in names:
+        sweep.add(FIGURE_REGISTRY[name], label=name)
+    results = sweep.run_labelled(parallel=args.parallel)
+    for name, result in results.items():
+        print(f"{name}: {type(result).__name__}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,24 +1,49 @@
-"""Flow-level network simulator (stand-in for ns-2, Click and ModelNet)."""
+"""Flow-level network simulator (stand-in for ns-2, Click and ModelNet).
 
+The hot path is array-based: directed arcs get dense integer indices
+(:class:`ArcTable`), installed paths compile to index arrays once
+(:class:`CompiledPath`) and the per-step max-min fair allocation runs as
+NumPy reductions (:func:`max_min_fair_rates`).  The original dict-based
+allocation survives in :mod:`repro.simulator.reference` as the oracle the
+equivalence tests and scaling benchmarks compare against.
+"""
+
+from .arcs import ArcTable, CompiledPath
 from .engine import Controller, Sample, SimulationEngine, SimulationResult
 from .failures import FailureSchedule, LinkEvent
-from .flows import DemandProfile, Flow, constant_demand, stepped_demand
-from .links import LinkState, SimulatedLink
+from .fairness import build_incidence, max_min_fair_rates
+from .flows import (
+    DemandProfile,
+    Flow,
+    constant_demand,
+    offered_load_vector,
+    stepped_demand,
+)
+from .links import NUM_LINK_STATES, LinkState, SimulatedLink
 from .network import DEFAULT_WAKE_DELAY_S, SimulatedNetwork
+from .reference import reference_allocate_rates, reference_max_min_rates
 
 __all__ = [
+    "ArcTable",
+    "CompiledPath",
     "Controller",
     "Sample",
     "SimulationEngine",
     "SimulationResult",
     "FailureSchedule",
     "LinkEvent",
+    "build_incidence",
+    "max_min_fair_rates",
     "DemandProfile",
     "Flow",
     "constant_demand",
+    "offered_load_vector",
     "stepped_demand",
+    "NUM_LINK_STATES",
     "LinkState",
     "SimulatedLink",
     "DEFAULT_WAKE_DELAY_S",
     "SimulatedNetwork",
+    "reference_allocate_rates",
+    "reference_max_min_rates",
 ]

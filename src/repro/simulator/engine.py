@@ -6,6 +6,13 @@ failures, completes pending wake-ups, lets the traffic-engineering controller
 re-assign flows to installed paths, computes max-min fair flow rates, and
 samples the metrics the evaluation figures plot (per-flow rates, aggregate
 demand and sending rate, network power).
+
+The per-step heavy lifting (max-min fair sharing, arc-load bookkeeping) is
+vectorized: the network compiles every installed path to arc-index arrays
+once and runs the allocation as NumPy reductions — see
+:mod:`repro.simulator.arcs` and :mod:`repro.simulator.fairness`.  Sampling
+likewise reads link states and monitored arc loads through the integer
+arc table rather than per-element dictionary walks.
 """
 
 from __future__ import annotations
@@ -13,10 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple
 
+import numpy as np
+
 from ..exceptions import SimulationError
 from .failures import FailureSchedule
 from .flows import Flow
-from .links import LinkState
+from .links import NUM_LINK_STATES, LinkState
 from .network import SimulatedNetwork
 
 
@@ -154,16 +163,18 @@ class SimulationEngine:
     def _sample(self, now_s: float) -> Sample:
         total_demand = sum(flow.offered_load(now_s) for flow in self.flows)
         total_rate = sum(flow.rate_bps for flow in self.flows)
-        states = [link.state for link in self.network.links()]
+        state_counts = np.bincount(
+            self.network.link_state_codes(), minlength=NUM_LINK_STATES
+        )
         return Sample(
             time_s=now_s,
             total_demand_bps=total_demand,
             total_rate_bps=total_rate,
             power_percent=self.network.power_percent(),
             flow_rates={flow.flow_id: flow.rate_bps for flow in self.flows},
-            sleeping_links=sum(1 for state in states if state == LinkState.SLEEPING),
-            waking_links=sum(1 for state in states if state == LinkState.WAKING),
-            failed_links=sum(1 for state in states if state == LinkState.FAILED),
+            sleeping_links=int(state_counts[LinkState.SLEEPING.code]),
+            waking_links=int(state_counts[LinkState.WAKING.code]),
+            failed_links=int(state_counts[LinkState.FAILED.code]),
             monitored_arc_loads={
                 (src, dst): self.network.arc_load(src, dst)
                 for src, dst in self.monitored_arcs

@@ -11,7 +11,9 @@ fairness over the usable links.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..routing.paths import Path
 
@@ -77,3 +79,16 @@ class Flow:
     def pair(self) -> Tuple[str, str]:
         """The flow's origin-destination pair."""
         return (self.origin, self.destination)
+
+
+def offered_load_vector(flows: Sequence[Flow], now_s: float) -> np.ndarray:
+    """Offered load of every flow at *now_s* as a dense array.
+
+    Demand profiles are arbitrary Python callables, so evaluating them is
+    the one per-flow step the vectorized engine cannot avoid; this helper
+    at least materialises the result directly into the array the fair-share
+    computation consumes.
+    """
+    return np.fromiter(
+        (flow.offered_load(now_s) for flow in flows), dtype=float, count=len(flows)
+    )

@@ -17,12 +17,35 @@ from ..exceptions import SimulationError
 
 
 class LinkState(enum.Enum):
-    """Power/availability state of an undirected link."""
+    """Power/availability state of an undirected link.
+
+    Each state carries a dense integer :attr:`code` so that the vectorized
+    engine can hold the whole network's link state in one small integer
+    array (see :meth:`SimulatedNetwork.link_state_codes`) and count states
+    with a single ``bincount`` instead of a per-link Python loop.
+    """
 
     ACTIVE = "active"
     SLEEPING = "sleeping"
     WAKING = "waking"
     FAILED = "failed"
+
+    @property
+    def code(self) -> int:
+        """Dense integer code of the state (stable across runs)."""
+        return _STATE_CODES[self]
+
+
+#: Dense state -> integer mapping used by the array-based bookkeeping.
+_STATE_CODES = {
+    LinkState.ACTIVE: 0,
+    LinkState.SLEEPING: 1,
+    LinkState.WAKING: 2,
+    LinkState.FAILED: 3,
+}
+
+#: Number of distinct link states (size of the ``bincount`` histogram).
+NUM_LINK_STATES = len(_STATE_CODES)
 
 
 @dataclass

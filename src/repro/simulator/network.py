@@ -1,16 +1,28 @@
-"""Run-time network state of the flow-level simulator."""
+"""Run-time network state of the flow-level simulator.
+
+The network keeps two synchronised views of its state: the per-link
+:class:`~repro.simulator.links.SimulatedLink` state machines (the mutable
+source of truth for sleep/wake/failure transitions) and a dense
+integer-indexed :class:`~repro.simulator.arcs.ArcTable` over which the
+per-step rate allocation and utilisation bookkeeping run as NumPy array
+operations (see :mod:`repro.simulator.fairness`).
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..exceptions import SimulationError
 from ..power.accounting import full_power, network_power
 from ..power.model import PowerModel
 from ..routing.paths import Path
 from ..topology.base import Topology, link_key
-from .flows import Flow
-from .links import LinkState, SimulatedLink
+from .arcs import ArcTable, CompiledPath
+from .fairness import build_incidence, max_min_fair_rates
+from .flows import Flow, offered_load_vector
+from .links import NUM_LINK_STATES, LinkState, SimulatedLink
 
 #: Default wake-up delay (the ns-2 experiments' conservative 5 s bound).
 DEFAULT_WAKE_DELAY_S = 5.0
@@ -36,9 +48,22 @@ class SimulatedNetwork:
                 latency_s=link.latency_s,
                 wake_delay_s=self.wake_delay_s,
             )
-        self._arc_loads: Dict[Tuple[str, str], float] = {
-            key: 0.0 for key in topology.arc_keys()
-        }
+        self._arc_table = ArcTable(topology)
+        #: Link objects in arc-table index order (aligned with link indices).
+        self._link_list: List[SimulatedLink] = [
+            self._links[key] for key in self._arc_table.link_keys
+        ]
+        # Allocation shares the parent link's (per-direction) capacity, as
+        # stored on the SimulatedLink — utilisation accounting instead uses
+        # the topology's declared per-arc capacity (ArcTable.arc_capacity).
+        self._alloc_capacity = np.array(
+            [
+                self._links[link_key(*key)].capacity_bps
+                for key in self._arc_table.arc_keys
+            ],
+            dtype=float,
+        )
+        self._arc_load_vec = np.zeros(self._arc_table.num_arcs, dtype=float)
         self._baseline_power_w = (
             full_power(topology, power_model).total_w if power_model else 0.0
         )
@@ -112,82 +137,94 @@ class SimulatedNetwork:
         unassigned receive rate zero.  Every other flow receives at most its
         offered demand at time *now_s*; progressive filling shares bottleneck
         capacity equally among the unfrozen flows crossing it.
-        """
-        for key in self._arc_loads:
-            self._arc_loads[key] = 0.0
 
-        routable = [
-            flow
-            for flow in flows
-            if flow.path is not None and self.path_is_usable(flow.path)
-        ]
+        The computation is fully vectorized: flow paths are compiled to arc
+        index arrays once (memoised) and each filling iteration is a few
+        NumPy reductions over the flows×arcs incidence — see
+        :func:`repro.simulator.fairness.max_min_fair_rates`.  The dict-based
+        seed algorithm survives as the oracle in
+        :mod:`repro.simulator.reference`.
+        """
+        self._arc_load_vec[:] = 0.0
         for flow in flows:
             flow.rate_bps = 0.0
+        if not flows:
+            return
 
-        remaining_capacity: Dict[Tuple[str, str], float] = {}
-        flows_on_arc: Dict[Tuple[str, str], Set[str]] = {}
-        demands: Dict[str, float] = {}
-        for flow in routable:
-            demands[flow.flow_id] = flow.offered_load(now_s)
-        for flow in routable:
-            for arc in flow.path.arc_keys():
-                remaining_capacity.setdefault(
-                    arc, self._links[link_key(*arc)].capacity_bps
-                )
-                flows_on_arc.setdefault(arc, set()).add(flow.flow_id)
+        usable = self.link_usable_vector()
+        routable: List[Flow] = []
+        compiled: List[CompiledPath] = []
+        for flow in flows:
+            if flow.path is None:
+                continue
+            path = self._arc_table.compile_path(flow.path)
+            if path.link_indices.size == 0 or bool(usable[path.link_indices].all()):
+                routable.append(flow)
+                compiled.append(path)
+        if not routable:
+            return
 
-        allocation = {flow.flow_id: 0.0 for flow in routable}
-        frozen: Set[str] = set()
-        # Freeze flows whose demand is already satisfied.
-        pending_demand = dict(demands)
-
-        for _ in range(len(routable) + len(remaining_capacity) + 1):
-            unfrozen = [fid for fid in allocation if fid not in frozen]
-            if not unfrozen:
-                break
-            # Per-arc fair share for unfrozen flows.
-            increments: List[float] = []
-            for arc, flow_ids in flows_on_arc.items():
-                active_ids = [fid for fid in flow_ids if fid not in frozen]
-                if not active_ids:
-                    continue
-                increments.append(remaining_capacity[arc] / len(active_ids))
-            demand_limited = min(
-                (pending_demand[fid] for fid in unfrozen), default=float("inf")
+        demands = offered_load_vector(routable, now_s)
+        flat_flow, flat_arc = build_incidence(compiled)
+        allocation = max_min_fair_rates(
+            demands, flat_flow, flat_arc, self._alloc_capacity
+        )
+        for flow, rate in zip(routable, allocation):
+            flow.rate_bps = float(rate)
+        if flat_arc.size:
+            self._arc_load_vec += np.bincount(
+                flat_arc,
+                weights=allocation[flat_flow],
+                minlength=self._arc_table.num_arcs,
             )
-            if not increments and demand_limited == float("inf"):
-                break
-            step = min(min(increments, default=float("inf")), demand_limited)
-            if step == float("inf"):
-                break
-            step = max(step, 0.0)
-            for fid in unfrozen:
-                allocation[fid] += step
-                pending_demand[fid] -= step
-            for arc, flow_ids in flows_on_arc.items():
-                active_count = sum(1 for fid in flow_ids if fid not in frozen)
-                remaining_capacity[arc] -= step * active_count
-            # Freeze demand-satisfied flows and flows on exhausted arcs.
-            for fid in list(unfrozen):
-                if pending_demand[fid] <= 1e-9:
-                    frozen.add(fid)
-            for arc, flow_ids in flows_on_arc.items():
-                if remaining_capacity[arc] <= 1e-9:
-                    frozen.update(flow_ids)
-            if step <= 1e-12:
-                break
 
-        for flow in routable:
-            flow.rate_bps = allocation[flow.flow_id]
-            for arc in flow.path.arc_keys():
-                self._arc_loads[arc] += flow.rate_bps
+    # ------------------------------------------------------------------ #
+    # Array-indexed views (the vectorized engine's fast path)
+    # ------------------------------------------------------------------ #
+    @property
+    def arc_table(self) -> ArcTable:
+        """The dense integer indexing of arcs and links."""
+        return self._arc_table
+
+    def compile_path(self, path: Path) -> CompiledPath:
+        """The path lowered to arc/link index arrays (memoised)."""
+        return self._arc_table.compile_path(path)
+
+    def link_usable_vector(self) -> np.ndarray:
+        """Boolean usability per link, aligned with the arc table's indices."""
+        return np.fromiter(
+            (link.state is LinkState.ACTIVE for link in self._link_list),
+            dtype=bool,
+            count=len(self._link_list),
+        )
+
+    def link_state_codes(self) -> np.ndarray:
+        """Integer state code per link (``LinkState.code`` order).
+
+        ``np.bincount(codes, minlength=NUM_LINK_STATES)`` yields the
+        active/sleeping/waking/failed histogram in one call.
+        """
+        return np.fromiter(
+            (link.state.code for link in self._link_list),
+            dtype=np.int64,
+            count=len(self._link_list),
+        )
+
+    def arc_load_vector(self) -> np.ndarray:
+        """Per-arc load (bps) from the last allocation, in arc-index order.
+
+        The returned array is the live internal buffer — callers that want
+        to mutate it (e.g. the TE controller's planned view) must copy.
+        """
+        return self._arc_load_vec
 
     # ------------------------------------------------------------------ #
     # Observation
     # ------------------------------------------------------------------ #
     def arc_load(self, src: str, dst: str) -> float:
         """Load on the directed arc ``src -> dst`` from the last allocation."""
-        return self._arc_loads.get((src, dst), 0.0)
+        index = self._arc_table.arc_index.get((src, dst))
+        return float(self._arc_load_vec[index]) if index is not None else 0.0
 
     def arc_utilisation(self, src: str, dst: str) -> float:
         """Utilisation of the directed arc from the last allocation."""
@@ -196,10 +233,18 @@ class SimulatedNetwork:
 
     def path_max_utilisation(self, path: Path) -> float:
         """Largest arc utilisation along a path (from the last allocation)."""
-        return max(
-            (self.arc_utilisation(src, dst) for src, dst in path.arc_keys()),
-            default=0.0,
+        compiled = self._arc_table.compile_path(path)
+        if compiled.arc_indices.size == 0:
+            return 0.0
+        capacities = self._arc_table.arc_capacity[compiled.arc_indices]
+        loads = self._arc_load_vec[compiled.arc_indices]
+        utilisations = np.divide(
+            loads,
+            capacities,
+            out=np.zeros_like(loads),
+            where=capacities > 0,
         )
+        return float(utilisations.max())
 
     def active_elements(self) -> Tuple[Set[str], Set[Tuple[str, str]]]:
         """Nodes and links currently drawing power.

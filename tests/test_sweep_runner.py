@@ -1,0 +1,184 @@
+"""Tests for the sweep runner: caching, parallel/serial equality, hashing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import (
+    FIGURE_REGISTRY,
+    Sweep,
+    function_reference,
+    grid,
+    main,
+    point,
+    resolve_function,
+    run_sweep,
+)
+
+
+# Module-level point functions: sweep points must be importable by workers.
+def _square(value):
+    return value * value
+
+
+def _record_and_square(value, marker_dir):
+    """Squares *value* and leaves a side-effect marker (to count executions)."""
+    import os
+
+    with open(os.path.join(marker_dir, f"ran-{value}"), "a") as handle:
+        handle.write("x")
+    return value * value
+
+
+# --------------------------------------------------------------------- #
+# Points, references and hashing
+# --------------------------------------------------------------------- #
+def test_function_reference_roundtrip():
+    reference = function_reference(_square)
+    assert reference.endswith(":_square")
+    assert resolve_function(reference) is _square
+    assert function_reference(reference) == reference
+    with pytest.raises(ConfigurationError):
+        function_reference(lambda x: x)
+    with pytest.raises(ConfigurationError):
+        function_reference("not-a-reference")
+
+
+def test_config_hash_is_order_insensitive_and_param_sensitive():
+    first = point(_square, value=3)
+    assert point(_square, value=3).config_hash() == first.config_hash()
+    assert point(_square, value=4).config_hash() != first.config_hash()
+    multi_a = point(_record_and_square, value=1, marker_dir="/tmp/x")
+    multi_b = point(_record_and_square, marker_dir="/tmp/x", value=1)
+    assert multi_a.config_hash() == multi_b.config_hash()
+
+
+def test_config_hash_distinguishes_callable_and_object_params():
+    # Callable-valued params hash by import reference, not by (empty) __dict__.
+    with_square = point(_record_and_square, fn=_square)
+    with_other = point(_record_and_square, fn=_record_and_square)
+    assert with_square.config_hash() != with_other.config_hash()
+    # Lambdas cannot be stably identified: fail loudly, never alias entries.
+    with pytest.raises(ConfigurationError):
+        point(_record_and_square, fn=lambda x: x).config_hash()
+    # Plain objects hash by class + attributes, stable across instances.
+    from repro.power import CiscoRouterPowerModel
+
+    one = point(_square, model=CiscoRouterPowerModel()).config_hash()
+    two = point(_square, model=CiscoRouterPowerModel()).config_hash()
+    assert one == two
+
+    # Objects whose repr embeds a memory address (no __dict__ to inspect)
+    # cannot be keyed stably: reject instead of silently aliasing entries.
+    class Slotted:
+        __slots__ = ("value",)
+
+        def __init__(self):
+            self.value = 1
+
+    with pytest.raises(ConfigurationError):
+        point(_square, model=Slotted()).config_hash()
+
+
+def test_grid_cartesian_product():
+    points = grid(k=[4, 8], seed=[0, 1])
+    assert points == [
+        {"k": 4, "seed": 0},
+        {"k": 4, "seed": 1},
+        {"k": 8, "seed": 0},
+        {"k": 8, "seed": 1},
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Execution: serial, parallel and cached
+# --------------------------------------------------------------------- #
+def test_run_sweep_serial_preserves_order():
+    results = run_sweep(_square, [{"value": v} for v in (3, 1, 2)])
+    assert results == [9, 1, 4]
+
+
+def test_parallel_and_serial_results_are_equal():
+    sweep = Sweep()
+    for value in range(8):
+        sweep.add(_square, label=str(value), value=value)
+    serial = sweep.run(parallel=False)
+    parallel = sweep.run(parallel=True)
+    assert serial == parallel == [v * v for v in range(8)]
+
+
+def test_cache_avoids_recomputation(tmp_path):
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    cache_dir = tmp_path / "cache"
+    sweep = Sweep(cache_dir=cache_dir)
+    for value in (2, 5):
+        sweep.add(_record_and_square, label=str(value), value=value, marker_dir=str(marker_dir))
+
+    first = sweep.run()
+    assert first == [4, 25]
+    assert len(sweep.cached_points()) == 2
+    assert sorted(p.name for p in marker_dir.iterdir()) == ["ran-2", "ran-5"]
+
+    second = sweep.run()  # served from disk: no new side effects
+    assert second == first
+    assert all((marker_dir / name).read_text() == "x" for name in ("ran-2", "ran-5"))
+
+    assert sweep.clear_cache() == 2
+    assert sweep.cached_points() == []
+    third = sweep.run()  # recomputes after the cache was cleared
+    assert third == first
+    assert (marker_dir / "ran-2").read_text() == "xx"
+
+
+def test_parallel_run_writes_shared_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    sweep = Sweep(cache_dir=cache_dir, processes=2)
+    for value in range(4):
+        sweep.add(_square, label=str(value), value=value)
+    assert sweep.run(parallel=True) == [0, 1, 4, 9]
+    assert len(sweep.cached_points()) == 4
+    # A fresh serial sweep over the same points reads the same entries.
+    again = Sweep(sweep.points, cache_dir=cache_dir)
+    assert again.run() == [0, 1, 4, 9]
+
+
+def test_run_labelled_requires_unique_labels():
+    sweep = Sweep().add(_square, label="dup", value=1).add(_square, label="dup", value=2)
+    with pytest.raises(ConfigurationError):
+        sweep.run_labelled()
+    assert sweep.run() == [1, 4]
+
+
+# --------------------------------------------------------------------- #
+# Figure-level integration and CLI
+# --------------------------------------------------------------------- #
+def test_registry_covers_all_figure_drivers():
+    from repro import experiments
+
+    for name, reference in FIGURE_REGISTRY.items():
+        assert resolve_function(reference) is getattr(
+            experiments, reference.rpartition(":")[2]
+        ), name
+
+
+def test_fig4_cached_rerun_is_identical(tmp_path):
+    from repro.experiments import run_fig4
+
+    fresh = run_fig4(num_intervals=3, include_elastictree=False, cache_dir=tmp_path)
+    cached = run_fig4(num_intervals=3, include_elastictree=False, cache_dir=tmp_path)
+    assert cached.power_percent == fresh.power_percent
+    assert list(tmp_path.glob("*.pkl"))  # per-point results landed on disk
+
+
+def test_cli_list_and_unknown(capsys):
+    assert main(["--list"]) == 0
+    listed = capsys.readouterr().out.split()
+    assert "fig4" in listed and "fig9" in listed
+    with pytest.raises(SystemExit):
+        main(["definitely-not-an-experiment"])
+
+
+def test_cli_deduplicates_repeated_names(capsys):
+    assert main(["fig7", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("fig7:") == 1
