@@ -10,7 +10,7 @@ upper bound of four recomputations per hour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

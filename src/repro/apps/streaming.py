@@ -14,13 +14,13 @@ delay with the serialisation time of a block at the achieved rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..routing.paths import RoutingTable, link_loads
+from ..routing.paths import RoutingTable
 from ..topology.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from ..units import kbps

@@ -14,8 +14,8 @@ propagation delay must stay within ``(1 + β)`` of the OSPF-InvCap delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 from ..exceptions import ConfigurationError
 from ..optim.greedy import greedy_minimum_subset

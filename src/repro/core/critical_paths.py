@@ -14,9 +14,8 @@ computes the coverage curve of Figure 2b.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-import numpy as np
 
 from ..exceptions import TrafficError
 from ..routing.paths import Path, RoutingTable

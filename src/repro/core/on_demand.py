@@ -19,7 +19,7 @@ are requested (two slots are reserved for the always-on and failover sets).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional
 
 from ..exceptions import ConfigurationError
 from ..optim.greente import greente_heuristic

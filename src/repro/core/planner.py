@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..exceptions import ConfigurationError
 from ..power.accounting import full_power, network_power
 from ..power.model import PowerModel
-from ..routing.paths import Path, RoutingTable
+from ..routing.paths import Path
 from ..topology.base import Topology
 from ..traffic.matrix import Pair, TrafficMatrix
 from .plan import ResponsePlan

@@ -17,8 +17,8 @@ among the installed paths at run time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from ..exceptions import ConfigurationError
 from ..power.model import PowerModel

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..exceptions import ConfigurationError
 from ..routing.paths import RoutingTable
-from ..topology.base import Topology, link_key
+from ..topology.base import Topology
 from ..traffic.matrix import Pair
 
 #: Fraction of most-stressed links excluded by default (the paper's 20 %).

@@ -27,7 +27,7 @@ network's arc table once, at :meth:`ResponseTEController.initialise` time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -35,7 +35,6 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..routing.paths import Path
 from ..simulator.flows import Flow
-from ..simulator.links import LinkState
 from ..simulator.network import SimulatedNetwork
 from .plan import ResponsePlan
 

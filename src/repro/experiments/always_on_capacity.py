@@ -12,13 +12,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.always_on import AlwaysOnConfig, compute_always_on
-from ..power.cisco import CiscoRouterPowerModel
 from ..power.model import PowerModel
-from ..routing.ospf import ospf_invcap_routing
 from ..routing.paths import RoutingTable, max_link_utilisation
+from ..scenario import PowerSpec, RoutingSpec, TopologySpec, TrafficSpec
 from ..topology.base import Topology
-from ..topology.rocketfuel import build_genuity
-from ..traffic.matrix import TrafficMatrix, select_pairs_among_subset
+from ..traffic.matrix import TrafficMatrix
 
 
 @dataclass
@@ -52,7 +50,6 @@ def _max_feasible_volume(
 ) -> float:
     """Largest scaled volume of *base* the fixed routing carries feasibly."""
     scale = 0.0
-    step_matrix = base
     current = growth_step
     for _ in range(max_iterations):
         candidate = base.scaled(current)
@@ -77,18 +74,27 @@ def run_always_on_capacity(
     would hide the difference the paper reports (the always-on paths
     aggregate traffic in the core and saturate earlier there).
     """
-    topo = topology or build_genuity()
-    model = power_model or CiscoRouterPowerModel()
-    # Restrict endpoints to PoPs with some path diversity: traffic terminating
-    # at a degree-1/2 stub saturates the same access link under any routing,
-    # which would mask the core-capacity difference this experiment measures.
-    well_connected = [node for node in topo.routers() if topo.degree(node) >= 3]
-    candidates = well_connected if len(well_connected) >= 2 else topo.routers()
-    pairs = select_pairs_among_subset(candidates, num_endpoints, num_pairs, seed=seed)
-    base = TrafficMatrix.uniform(pairs, 1e6 / max(len(pairs), 1), name="uniform")
+    topo = topology or TopologySpec("genuity").build()
+    model = power_model or PowerSpec("cisco").build(topo)
+    # Restrict endpoints to PoPs with some path diversity (min_degree=3):
+    # traffic terminating at a degree-1/2 stub saturates the same access link
+    # under any routing, which would mask the core-capacity difference this
+    # experiment measures.
+    workload = TrafficSpec(
+        "uniform",
+        params=dict(
+            total_traffic_bps=1e6,
+            num_pairs=num_pairs,
+            num_endpoints=num_endpoints,
+            min_degree=3,
+            name="uniform",
+            seed=seed,
+        ),
+    ).build(topo)
+    pairs, base = workload.pairs, workload.peak()
 
     always_on = compute_always_on(topo, model, pairs=pairs, config=AlwaysOnConfig(k=3))
-    ospf = ospf_invcap_routing(topo, pairs=pairs)
+    ospf = RoutingSpec("ospf-invcap").build(topo, pairs)
 
     always_on_max = _max_feasible_volume(topo, always_on.routing, base)
     ospf_max = _max_feasible_volume(topo, ospf, base)

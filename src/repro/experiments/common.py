@@ -1,15 +1,20 @@
-"""Shared helpers for the per-figure experiment drivers."""
+"""Shared helpers for the per-figure experiment drivers.
+
+The per-interval GreenTE replay used by the recomputation-rate and
+energy-critical-path analyses is implemented once, in
+:func:`repro.scenario.schemes.greente_replay` (candidate paths computed once
+per replay and shared across intervals); the helpers here are thin wrappers
+keeping the historical driver-facing signatures.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence
 
-from ..optim.greente import greente_heuristic
 from ..optim.solution import EnergyAwareSolution
 from ..power.model import PowerModel
-from ..routing.ksp import k_shortest_paths_all_pairs
 from ..routing.paths import RoutingConfiguration, RoutingTable
+from ..scenario.schemes import CachedCandidatePaths, greente_replay
 from ..topology.base import Topology
 from ..traffic.matrix import Pair, TrafficMatrix
 from ..traffic.replay import TrafficTrace
@@ -21,6 +26,7 @@ IntervalSolver = Callable[[Topology, PowerModel, TrafficMatrix], EnergyAwareSolu
 def greente_interval_solver(
     k: int = 5,
     utilisation_limit: float = 1.0,
+    ordering: str = "demand",
 ) -> IntervalSolver:
     """A fast per-interval solver for trace replays.
 
@@ -28,22 +34,27 @@ def greente_interval_solver(
     2b) must recompute an energy-aware routing for every interval of a long
     trace.  The exact MILP would make that prohibitively slow, so — exactly
     like the state-of-the-art heuristics the paper discusses — the replay uses
-    the GreenTE-style greedy solver.  Candidate paths are computed once per
-    call; callers replaying many intervals should use
-    :func:`per_interval_solutions`, which caches them.
+    the GreenTE-style greedy solver.  The returned solver caches its candidate
+    k-shortest paths per (topology, pair set) across calls, so replaying many
+    intervals pays for the candidate computation once (the same cached-path
+    machinery backs :func:`per_interval_solutions` and the registered
+    ``greente`` scenario scheme).
     """
+    cache = CachedCandidatePaths(k)
 
     def solver(
         topology: Topology, power_model: PowerModel, demands: TrafficMatrix
     ) -> EnergyAwareSolution:
-        return greente_heuristic(
+        return greente_replay(
             topology,
             power_model,
-            demands,
+            [demands],
             k=k,
             utilisation_limit=utilisation_limit,
-            allow_overload=True,
-        )
+            pairs=demands.pairs(),
+            ordering=ordering,
+            candidates=cache,
+        )[0]
 
     return solver
 
@@ -57,28 +68,22 @@ def per_interval_solutions(
 ) -> List[EnergyAwareSolution]:
     """Recompute the energy-aware routing for every interval of a trace.
 
-    Candidate k-shortest paths are computed once and reused across intervals,
-    which keeps long replays tractable.
+    Candidate k-shortest paths are computed once for the union of pairs over
+    the whole trace and reused across intervals, which keeps long replays
+    tractable.
     """
     pairs: List[Pair] = sorted(
         {pair for matrix in trace.matrices() for pair in matrix.pairs()}
     )
-    candidates = k_shortest_paths_all_pairs(topology, k, pairs=pairs)
-    solutions: List[EnergyAwareSolution] = []
-    for matrix in trace.matrices():
-        solutions.append(
-            greente_heuristic(
-                topology,
-                power_model,
-                matrix,
-                k=k,
-                utilisation_limit=utilisation_limit,
-                candidate_paths=candidates,
-                allow_overload=True,
-                ordering="stable",
-            )
-        )
-    return solutions
+    return greente_replay(
+        topology,
+        power_model,
+        trace.matrices(),
+        k=k,
+        utilisation_limit=utilisation_limit,
+        pairs=pairs,
+        ordering="stable",
+    )
 
 
 def configurations_of(solutions: Sequence[EnergyAwareSolution]) -> List[RoutingConfiguration]:

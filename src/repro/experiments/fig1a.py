@@ -11,7 +11,8 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..analysis.deviation import change_ccdf, fraction_changing_at_least, median_change
-from ..traffic.google_trace import GOOGLE_TRACE_DAYS, google_volume_series
+from ..scenario import TrafficSpec
+from ..traffic.google_trace import GOOGLE_TRACE_DAYS
 
 
 @dataclass
@@ -37,7 +38,7 @@ class Fig1aResult:
 
 def run_fig1a(num_days: int = GOOGLE_TRACE_DAYS, seed: int = 25) -> Fig1aResult:
     """Reproduce Figure 1a from the synthetic Google-like volume series."""
-    series = google_volume_series(num_days=num_days, seed=seed)
+    series = TrafficSpec("google-volume", num_days=num_days, seed=seed).build(None)
     return Fig1aResult(
         ccdf_points=change_ccdf(series),
         fraction_at_least_20_percent=fraction_changing_at_least(series, 0.20),

@@ -12,12 +12,16 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.recomputation import RecomputationSeries, recomputation_rate
-from ..power.cisco import CiscoRouterPowerModel
 from ..power.model import PowerModel
-from ..topology.geant import build_geant
-from ..traffic.geant_trace import generate_geant_trace
-from ..traffic.matrix import select_pairs_among_subset
-from .common import configurations_of, per_interval_solutions
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+    scheme_outcomes,
+)
 
 
 @dataclass
@@ -41,6 +45,33 @@ class Fig1bResult:
         return list(zip(self.series.hour_start_s, self.series.recomputations_per_hour))
 
 
+def geant_replay_spec(
+    num_days: int,
+    num_pairs: int,
+    num_endpoints: int,
+    peak_total_bps: float,
+    subsample: int,
+    seed: int,
+    name: str = "geant-replay",
+) -> ScenarioSpec:
+    """The GÉANT per-interval recomputation scenario (Figures 1b and 2a)."""
+    return ScenarioSpec(
+        name=name,
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec(
+            "geant-trace",
+            num_days=num_days,
+            num_pairs=num_pairs,
+            num_endpoints=num_endpoints,
+            peak_total_bps=peak_total_bps,
+            subsample=subsample,
+            seed=seed,
+        ),
+        power=PowerSpec("cisco"),
+        schemes=(SchemeSpec("greente", k=5),),
+    )
+
+
 def run_fig1b(
     num_days: int = 3,
     num_pairs: int = 110,
@@ -62,23 +93,20 @@ def run_fig1b(
             default drives the busiest links close to capacity, which is what
             forces the minimal subset to change between intervals.
         subsample: Keep every ``subsample``-th interval of the 15-minute trace.
-        power_model: Power model used by the per-interval optimisation.
+        power_model: Power model used by the per-interval optimisation
+            (a programmatic override of the scenario's ``cisco`` spec).
         seed: Trace generator seed.
     """
-    topology = build_geant()
-    model = power_model or CiscoRouterPowerModel()
-    pairs = select_pairs_among_subset(
-        topology.routers(), num_endpoints, num_pairs, seed=seed
-    )
-    trace = generate_geant_trace(
-        topology,
+    spec = geant_replay_spec(
         num_days=num_days,
-        pairs=pairs,
+        num_pairs=num_pairs,
+        num_endpoints=num_endpoints,
         peak_total_bps=peak_total_bps,
+        subsample=subsample,
         seed=seed,
+        name="fig1b",
     )
-    if subsample > 1:
-        trace = trace.subsampled(subsample)
-    solutions = per_interval_solutions(topology, model, trace)
-    configurations = configurations_of(solutions)
-    return Fig1bResult(series=recomputation_rate(configurations, trace.interval_s))
+    built = build_scenario(spec, power_model=power_model)
+    outcome = scheme_outcomes(built)["greente"]
+    configurations = outcome.details["configurations"]
+    return Fig1bResult(series=recomputation_rate(configurations, built.trace.interval_s))

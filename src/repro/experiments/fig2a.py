@@ -12,12 +12,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.dominance import DominanceResult, configuration_dominance
-from ..power.cisco import CiscoRouterPowerModel
 from ..power.model import PowerModel
-from ..topology.geant import build_geant
-from ..traffic.geant_trace import generate_geant_trace
-from ..traffic.matrix import select_pairs_among_subset
-from .common import configurations_of, per_interval_solutions
+from ..scenario import build_scenario, scheme_outcomes
+from .fig1b import geant_replay_spec
 
 
 @dataclass
@@ -50,21 +47,22 @@ def run_fig2a(
     power_model: Optional[PowerModel] = None,
     seed: int = 2005,
 ) -> Fig2aResult:
-    """Reproduce Figure 2a on the synthetic GÉANT trace."""
-    topology = build_geant()
-    model = power_model or CiscoRouterPowerModel()
-    pairs = select_pairs_among_subset(
-        topology.routers(), num_endpoints, num_pairs, seed=seed
-    )
-    trace = generate_geant_trace(
-        topology,
+    """Reproduce Figure 2a on the synthetic GÉANT trace.
+
+    Same declarative scenario as Figure 1b (GÉANT × trace replay × cisco ×
+    per-interval GreenTE); only the analysis of the per-interval
+    configurations differs.
+    """
+    spec = geant_replay_spec(
         num_days=num_days,
-        pairs=pairs,
+        num_pairs=num_pairs,
+        num_endpoints=num_endpoints,
         peak_total_bps=peak_total_bps,
+        subsample=subsample,
         seed=seed,
+        name="fig2a",
     )
-    if subsample > 1:
-        trace = trace.subsampled(subsample)
-    solutions = per_interval_solutions(topology, model, trace)
-    configurations = configurations_of(solutions)
+    built = build_scenario(spec, power_model=power_model)
+    outcome = scheme_outcomes(built)["greente"]
+    configurations = outcome.details["configurations"]
     return Fig2aResult(dominance=configuration_dominance(configurations))

@@ -12,15 +12,17 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.critical_paths import coverage_curve, paths_needed_for_coverage, rank_paths_by_traffic
-from ..power.cisco import CiscoRouterPowerModel
-from ..power.commodity import CommoditySwitchPowerModel
 from ..power.model import PowerModel
-from ..topology.fattree import build_fattree, hosts
-from ..topology.geant import build_geant
-from ..traffic.geant_trace import generate_geant_trace
-from ..traffic.google_trace import google_trace
-from ..traffic.matrix import select_pairs_among_subset
-from .common import per_interval_solutions, routings_of
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+    scheme_outcomes,
+)
+from .common import routings_of
 
 
 @dataclass
@@ -54,6 +56,21 @@ class Fig2bResult:
         return rows
 
 
+def _coverage_of(
+    spec: ScenarioSpec,
+    max_paths: int,
+    power_model: Optional[PowerModel] = None,
+) -> tuple:
+    """Coverage curve and 98 %-coverage path count of one network scenario."""
+    built = build_scenario(spec, power_model=power_model)
+    solutions = scheme_outcomes(built)["greente"].details["solutions"]
+    ranked = rank_paths_by_traffic(built.trace, routings_of(solutions))
+    return (
+        coverage_curve(ranked, max_paths=max_paths),
+        paths_needed_for_coverage(ranked, 0.98, max_paths=max_paths),
+    )
+
+
 def run_fig2b(
     geant_days: int = 2,
     geant_pairs: int = 110,
@@ -68,6 +85,9 @@ def run_fig2b(
     seed: int = 2005,
 ) -> Fig2bResult:
     """Reproduce Figure 2b for both a GÉANT-like ISP and a fat-tree datacenter.
+
+    Both networks are declarative scenarios sharing the per-interval GreenTE
+    scheme; only the topology × traffic × power composition differs.
 
     Args:
         geant_days: Days of the GÉANT-like trace to replay.
@@ -87,37 +107,37 @@ def run_fig2b(
     needed: Dict[str, int] = {}
 
     # GÉANT-like ISP network.
-    geant = build_geant()
-    isp_model = power_model or CiscoRouterPowerModel()
-    geant_pair_set = select_pairs_among_subset(
-        geant.routers(), geant_endpoints, geant_pairs, seed=seed
+    geant_spec = ScenarioSpec(
+        name="fig2b-geant",
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec(
+            "geant-trace",
+            num_days=geant_days,
+            num_pairs=geant_pairs,
+            num_endpoints=geant_endpoints,
+            peak_total_bps=geant_peak_total_bps,
+            seed=seed,
+        ),
+        power=PowerSpec("cisco"),
+        schemes=(SchemeSpec("greente", k=candidate_k),),
     )
-    geant_trace = generate_geant_trace(
-        geant,
-        num_days=geant_days,
-        pairs=geant_pair_set,
-        peak_total_bps=geant_peak_total_bps,
-        seed=seed,
+    coverage["geant"], needed["geant"] = _coverage_of(
+        geant_spec, max_paths, power_model=power_model
     )
-    geant_solutions = per_interval_solutions(geant, isp_model, geant_trace, k=candidate_k)
-    geant_ranked = rank_paths_by_traffic(geant_trace, routings_of(geant_solutions))
-    coverage["geant"] = coverage_curve(geant_ranked, max_paths=max_paths)
-    needed["geant"] = paths_needed_for_coverage(geant_ranked, 0.98, max_paths=max_paths)
 
     # Fat-tree datacenter driven by the Google-like volume series.
-    fattree = build_fattree(fattree_k)
-    dc_model = CommoditySwitchPowerModel(ports_at_peak=fattree_k)
-    host_names = hosts(fattree)
-    pairs = [
-        (host_names[index], host_names[(index + len(host_names) // 2) % len(host_names)])
-        for index in range(len(host_names))
-    ]
-    dc_trace = google_trace(
-        pairs, num_days=fattree_days, peak_total_bps=fattree_peak_total_bps, seed=seed
+    fattree_spec = ScenarioSpec(
+        name="fig2b-fattree",
+        topology=TopologySpec("fattree", k=fattree_k),
+        traffic=TrafficSpec(
+            "google-trace",
+            num_days=fattree_days,
+            peak_total_bps=fattree_peak_total_bps,
+            seed=seed,
+        ),
+        power=PowerSpec("commodity", ports_at_peak=fattree_k),
+        schemes=(SchemeSpec("greente", k=candidate_k + 2),),
     )
-    dc_solutions = per_interval_solutions(fattree, dc_model, dc_trace, k=candidate_k + 2)
-    dc_ranked = rank_paths_by_traffic(dc_trace, routings_of(dc_solutions))
-    coverage["fattree"] = coverage_curve(dc_ranked, max_paths=max_paths)
-    needed["fattree"] = paths_needed_for_coverage(dc_ranked, 0.98, max_paths=max_paths)
+    coverage["fattree"], needed["fattree"] = _coverage_of(fattree_spec, max_paths)
 
     return Fig2bResult(coverage=coverage, paths_for_98_percent=needed)

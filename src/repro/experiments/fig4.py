@@ -6,6 +6,11 @@ fraction of the original at the trough and stays well below 100 % even at the
 peak, with *far* (inter-pod) traffic the network must keep the core awake at
 the peak so savings shrink there, and ECMP stays flat at ~100 % because it
 spreads load over every element.
+
+The whole stack is declarative: each traffic mode is one
+:class:`~repro.scenario.spec.ScenarioSpec` (fat-tree topology × sine-wave
+traffic × commodity power × response/elastictree/ecmp schemes) fanned out as
+a sweep point through :func:`repro.scenario.engine.run_scenario_dict`.
 """
 
 from __future__ import annotations
@@ -13,14 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core.planner import activate_paths
-from ..core.response import ResponseConfig, build_response_plan
-from ..optim.elastictree import elastictree_subset
-from ..power.accounting import full_power, network_power
-from ..power.commodity import CommoditySwitchPowerModel
-from ..routing.ecmp import ecmp_active_elements
-from ..topology.fattree import build_fattree, hosts
-from ..traffic.sinewave import fattree_sine_pairs, sine_wave_trace
+from ..scenario import PowerSpec, ScenarioSpec, SchemeSpec, TopologySpec, TrafficSpec
 from .runner import Sweep
 
 
@@ -56,61 +54,31 @@ class Fig4Result:
         return 100.0 - sum(series) / len(series)
 
 
-def _fig4_mode_power(
-    k: int,
+def fig4_scenario_spec(
     mode: str,
-    num_intervals: int,
-    utilisation_threshold: float,
-    include_elastictree: bool,
-    seed: int,
-) -> Dict[str, List[float]]:
-    """Power series of one traffic mode (a sweep point; importable top-level)."""
-    topology = build_fattree(k)
-    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
-    baseline = full_power(topology, power_model).total_w
-
-    trace = sine_wave_trace(topology, mode=mode, num_intervals=num_intervals, seed=seed)
-    pairs = fattree_sine_pairs(topology, mode, seed=seed)
-    plan = build_response_plan(
-        topology,
-        power_model,
-        pairs=pairs,
-        config=ResponseConfig(num_paths=3, k=4, include_failover=True),
-    )
-    series: Dict[str, List[float]] = {"response": []}
+    k: int = 4,
+    num_intervals: int = 11,
+    utilisation_threshold: float = 0.9,
+    include_elastictree: bool = True,
+    include_ecmp: bool = False,
+    seed: int = 4,
+) -> ScenarioSpec:
+    """The declarative scenario behind one Figure 4 traffic mode."""
+    schemes = [SchemeSpec("response", num_paths=3, k=4, include_failover=True)]
     if include_elastictree:
-        series["elastictree"] = []
-    for matrix in trace.matrices():
-        activation = activate_paths(
-            topology,
-            power_model,
-            plan,
-            matrix,
-            utilisation_threshold=utilisation_threshold,
-        )
-        series["response"].append(activation.power_percent)
-        if include_elastictree:
-            subset = elastictree_subset(topology, power_model, matrix)
-            series["elastictree"].append(100.0 * subset.power_w / baseline)
-    return series
-
-
-def _fig4_ecmp_power(k: int, num_intervals: int, seed: int) -> List[float]:
-    """ECMP power series (a sweep point; importable top-level).
-
-    ECMP keeps every element on any shortest path active; with all-pairs
-    demand that is the whole switching fabric, so its power is flat.
-    """
-    topology = build_fattree(k)
-    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
-    baseline = full_power(topology, power_model).total_w
-    far_trace = sine_wave_trace(topology, mode="far", num_intervals=num_intervals, seed=seed)
-    power: List[float] = []
-    for matrix in far_trace.matrices():
-        nodes, links = ecmp_active_elements(topology, matrix)
-        ecmp_power = network_power(topology, power_model, nodes, links).total_w
-        power.append(100.0 * ecmp_power / baseline)
-    return power
+        schemes.append(SchemeSpec("elastictree"))
+    if include_ecmp:
+        schemes.append(SchemeSpec("ecmp"))
+    return ScenarioSpec(
+        name=f"fig4-{mode}",
+        topology=TopologySpec("fattree", k=k),
+        traffic=TrafficSpec(
+            "sinewave", mode=mode, num_intervals=num_intervals, seed=seed
+        ),
+        power=PowerSpec("commodity", ports_at_peak=k),
+        schemes=tuple(schemes),
+        utilisation_threshold=utilisation_threshold,
+    )
 
 
 def run_fig4(
@@ -124,30 +92,32 @@ def run_fig4(
 ) -> Fig4Result:
     """Reproduce Figure 4 on a k-ary fat-tree with sine-wave demand.
 
-    The near/far traffic modes and the ECMP baseline are independent sweep
-    points: pass ``parallel=True`` to fan them out over processes and
-    ``cache_dir`` to reuse results across runs (see
+    The near and far traffic modes are independent scenario sweep points
+    (the ECMP baseline rides on the far scenario, whose trace it replays):
+    pass ``parallel=True`` to fan them out over processes and ``cache_dir``
+    to reuse results across runs, keyed by each scenario's config hash (see
     :mod:`repro.experiments.runner`).
     """
     sweep = Sweep(cache_dir=cache_dir)
     for mode in ("near", "far"):
-        sweep.add(
-            _fig4_mode_power,
-            label=mode,
+        spec = fig4_scenario_spec(
+            mode,
             k=k,
-            mode=mode,
             num_intervals=num_intervals,
             utilisation_threshold=utilisation_threshold,
             include_elastictree=include_elastictree,
+            include_ecmp=(mode == "far"),
             seed=seed,
         )
-    sweep.add(_fig4_ecmp_power, label="ecmp", k=k, num_intervals=num_intervals, seed=seed)
+        sweep.add(
+            "repro.scenario.engine:run_scenario_dict", label=mode, spec=spec.to_dict()
+        )
     by_label = sweep.run_labelled(parallel=parallel)
 
     times = [float(index) for index in range(num_intervals)]
-    power: Dict[str, List[float]] = {"ecmp": by_label["ecmp"]}
+    power: Dict[str, List[float]] = {"ecmp": by_label["far"].power_percent["ecmp"]}
     for mode in ("near", "far"):
-        power[f"response_{mode}"] = by_label[mode]["response"]
+        power[f"response_{mode}"] = by_label[mode].power_percent["response"]
         if include_elastictree:
-            power[f"elastictree_{mode}"] = by_label[mode]["elastictree"]
+            power[f"elastictree_{mode}"] = by_label[mode].power_percent["elastictree"]
     return Fig4Result(times=times, power_percent=power)

@@ -14,13 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core.planner import activate_paths
-from ..core.response import ResponseConfig, build_response_plan
-from ..power.alternative import AlternativeHardwarePowerModel
-from ..power.cisco import CiscoRouterPowerModel
-from ..topology.geant import build_geant
-from ..traffic.geant_trace import generate_geant_trace
-from ..traffic.matrix import select_pairs_among_subset
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
 
 
 @dataclass
@@ -54,6 +55,40 @@ class Fig5Result:
         ]
 
 
+def fig5_scenario_spec(
+    power: str,
+    num_days: int = 3,
+    num_pairs: int = 110,
+    num_endpoints: int = 20,
+    subsample: int = 2,
+    utilisation_threshold: float = 0.9,
+    peak_total_bps: Optional[float] = None,
+    seed: int = 2005,
+    include_ospf: bool = False,
+) -> ScenarioSpec:
+    """The Figure 5 replay under one power model (``cisco``/``alternative``)."""
+    traffic_params: Dict[str, object] = dict(
+        num_days=num_days,
+        num_pairs=num_pairs,
+        num_endpoints=num_endpoints,
+        subsample=subsample,
+        seed=seed,
+    )
+    if peak_total_bps is not None:
+        traffic_params["peak_total_bps"] = peak_total_bps
+    schemes = [SchemeSpec("response", num_paths=3, k=3)]
+    if include_ospf:
+        schemes.append(SchemeSpec("ospf"))
+    return ScenarioSpec(
+        name=f"fig5-{power}",
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec("geant-trace", params=traffic_params),
+        power=PowerSpec(power),
+        schemes=tuple(schemes),
+        utilisation_threshold=utilisation_threshold,
+    )
+
+
 def run_fig5(
     num_days: int = 3,
     num_pairs: int = 110,
@@ -65,6 +100,10 @@ def run_fig5(
 ) -> Fig5Result:
     """Reproduce Figure 5 on the synthetic GÉANT trace.
 
+    One declarative scenario per hardware model (the trace and pair
+    selection are deterministic given the seed, so both replay identical
+    demands); the OSPF baseline rides on the first.
+
     Args:
         num_days: Days of trace replayed (paper: 15).
         num_pairs: Random origin-destination pairs carrying traffic.
@@ -75,55 +114,34 @@ def run_fig5(
         peak_total_bps: Override the trace's peak aggregate demand.
         seed: Trace generator seed.
     """
-    topology = build_geant()
-    pairs = select_pairs_among_subset(
-        topology.routers(), num_endpoints, num_pairs, seed=seed
-    )
-    trace_kwargs = dict(num_days=num_days, pairs=pairs, seed=seed)
-    if peak_total_bps is not None:
-        trace_kwargs["peak_total_bps"] = peak_total_bps
-    trace = generate_geant_trace(topology, **trace_kwargs)
-    if subsample > 1:
-        trace = trace.subsampled(subsample)
+    results = {}
+    for label, power in (("response", "cisco"), ("response_alternative_hw", "alternative")):
+        spec = fig5_scenario_spec(
+            power,
+            num_days=num_days,
+            num_pairs=num_pairs,
+            num_endpoints=num_endpoints,
+            subsample=subsample,
+            utilisation_threshold=utilisation_threshold,
+            peak_total_bps=peak_total_bps,
+            seed=seed,
+            include_ospf=(label == "response"),
+        )
+        results[label] = run_scenario(spec)
 
     power_percent: Dict[str, List[float]] = {
-        "ospf": [],
-        "response": [],
-        "response_alternative_hw": [],
+        "ospf": results["response"].power_percent["ospf"],
+        "response": results["response"].power_percent["response"],
+        "response_alternative_hw": results["response_alternative_hw"].power_percent[
+            "response"
+        ],
     }
-    models = {
-        "response": CiscoRouterPowerModel(),
-        "response_alternative_hw": AlternativeHardwarePowerModel(),
-    }
-    plans = {
-        label: build_response_plan(
-            topology,
-            model,
-            pairs=pairs,
-            config=ResponseConfig(num_paths=3, k=3),
-        )
-        for label, model in models.items()
-    }
-
-    for interval in trace:
-        # OSPF keeps the whole network busy: 100 % of the original power.
-        power_percent["ospf"].append(100.0)
-        for label, model in models.items():
-            activation = activate_paths(
-                topology,
-                model,
-                plans[label],
-                interval.matrix,
-                utilisation_threshold=utilisation_threshold,
-            )
-            power_percent[label].append(activation.power_percent)
-
     mean_savings = {
         label: 100.0 - sum(series) / len(series)
         for label, series in power_percent.items()
     }
     return Fig5Result(
-        times_s=trace.timestamps(),
+        times_s=results["response"].times_s,
         power_percent=power_percent,
         mean_savings_percent=mean_savings,
         recomputations_needed=0,

@@ -12,20 +12,17 @@ recomputation lower-bounds them all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
-from ..core.planner import activate_paths
-from ..core.response import ResponseConfig, build_response_plan
-from ..optim.greente import greente_heuristic
-from ..optim.pathmilp import PathMilpConfig, solve_path_milp
-from ..power.accounting import full_power
-from ..power.cisco import CiscoRouterPowerModel
 from ..power.model import PowerModel
-from ..topology.rocketfuel import build_genuity
-from ..traffic.gravity import gravity_matrix
-from ..traffic.matrix import select_pairs_among_subset
-from ..traffic.scaling import calibrate_max_load
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
 from .runner import Sweep
 
 #: Variants plotted in the figure, in its legend order.
@@ -67,131 +64,50 @@ class Fig6Result:
         return 100.0 - self.power_percent[variant][index]
 
 
-def _fig6_setup(
-    utilisation_levels: Sequence[float],
-    num_pairs: int,
-    num_endpoints: int,
-    power_model: Optional[PowerModel],
-    seed: int,
-):
-    """Topology, model, baseline, pairs and per-level demand matrices.
-
-    Deterministic given the parameters, so every sweep point can rebuild
-    the shared setup independently (which is what makes the variants
-    embarrassingly parallel).  Within one process the result is memoised,
-    so a serial sweep pays for the calibration once, like the seed did;
-    the returned objects are shared and must be treated as read-only.
-    """
-    try:
-        return _fig6_setup_cached(
-            tuple(utilisation_levels), num_pairs, num_endpoints, power_model, seed
-        )
-    except TypeError:  # unhashable custom power model: compute uncached
-        return _fig6_setup_impl(
-            tuple(utilisation_levels), num_pairs, num_endpoints, power_model, seed
-        )
-
-
-def _fig6_setup_impl(
-    utilisation_levels: Sequence[float],
-    num_pairs: int,
-    num_endpoints: int,
-    power_model: Optional[PowerModel],
-    seed: int,
-):
-    topology = build_genuity()
-    model = power_model or CiscoRouterPowerModel()
-    baseline = full_power(topology, model).total_w
-    pairs = select_pairs_among_subset(
-        topology.routers(), num_endpoints, num_pairs, seed=seed
-    )
-    base = gravity_matrix(topology, total_traffic_bps=1e9, pairs=pairs)
-    max_scale = calibrate_max_load(topology, base)
-    matrices = {
-        level: base.scaled(max_scale * level / 100.0) for level in utilisation_levels
-    }
-    return topology, model, baseline, pairs, matrices
-
-
-_fig6_setup_cached = lru_cache(maxsize=4)(_fig6_setup_impl)
-
-
-def _fig6_variant_power(
+def fig6_variant_scheme(
     variant: str,
-    utilisation_levels: Sequence[float],
-    num_pairs: int,
-    num_endpoints: int,
-    utilisation_threshold: float,
-    latency_beta: float,
-    k: int,
-    power_model: Optional[PowerModel],
-    seed: int,
-) -> List[float]:
-    """Power series of one REsPoNse variant (a sweep point)."""
-    topology, model, _baseline, pairs, matrices = _fig6_setup(
-        utilisation_levels, num_pairs, num_endpoints, power_model, seed
-    )
-    peak_matrix = matrices[max(utilisation_levels)]
-    configs = {
-        "response": ResponseConfig(num_paths=3, k=k),
-        "response-lat": ResponseConfig(num_paths=3, k=k, latency_beta=latency_beta),
-        "response-ospf": ResponseConfig(num_paths=3, k=k, on_demand_method="ospf"),
-        "response-heuristic": ResponseConfig(
-            num_paths=3, k=k, on_demand_method="heuristic"
+    latency_beta: float = 0.25,
+    k: int = 3,
+) -> SchemeSpec:
+    """The registered scheme behind one Figure 6 variant."""
+    if variant == "optimal":
+        return SchemeSpec("optimal", k=k)
+    if variant == "response":
+        return SchemeSpec("response", num_paths=3, k=k)
+    if variant == "response-lat":
+        return SchemeSpec("response-lat", num_paths=3, k=k, latency_beta=latency_beta)
+    if variant in ("response-ospf", "response-heuristic"):
+        return SchemeSpec(variant, num_paths=3, k=k)
+    raise ValueError(f"unknown Figure 6 variant {variant!r}")
+
+
+def fig6_scenario_spec(
+    variant: str,
+    utilisation_levels: Sequence[float] = (10.0, 50.0, 100.0),
+    num_pairs: int = 150,
+    num_endpoints: int = 26,
+    utilisation_threshold: float = 0.95,
+    latency_beta: float = 0.25,
+    k: int = 3,
+    seed: int = 1,
+) -> ScenarioSpec:
+    """One Figure 6 variant as a declarative Genuity × gravity scenario."""
+    return ScenarioSpec(
+        name=f"fig6-{variant}",
+        topology=TopologySpec("genuity"),
+        traffic=TrafficSpec(
+            "gravity",
+            total_traffic_bps=1e9,
+            num_pairs=num_pairs,
+            num_endpoints=num_endpoints,
+            calibrate=True,
+            levels=[level / 100.0 for level in utilisation_levels],
+            seed=seed,
         ),
-    }
-    plan = build_response_plan(
-        topology,
-        model,
-        pairs=pairs,
-        peak_matrix=peak_matrix if variant == "response-heuristic" else None,
-        config=configs[variant],
+        power=PowerSpec("cisco"),
+        schemes=(fig6_variant_scheme(variant, latency_beta=latency_beta, k=k),),
+        utilisation_threshold=utilisation_threshold,
     )
-    power: List[float] = []
-    for level in utilisation_levels:
-        activation = activate_paths(
-            topology,
-            model,
-            plan,
-            matrices[level],
-            utilisation_threshold=utilisation_threshold,
-        )
-        power.append(activation.power_percent)
-    return power
-
-
-def _fig6_optimal_power(
-    utilisation_levels: Sequence[float],
-    num_pairs: int,
-    num_endpoints: int,
-    k: int,
-    power_model: Optional[PowerModel],
-    seed: int,
-) -> List[float]:
-    """Per-level optimal recomputation lower bound (a sweep point)."""
-    topology, model, baseline, _pairs, matrices = _fig6_setup(
-        utilisation_levels, num_pairs, num_endpoints, power_model, seed
-    )
-    power: List[float] = []
-    for level in utilisation_levels:
-        demands = matrices[level]
-        try:
-            optimal = solve_path_milp(
-                topology,
-                model,
-                demands,
-                config=PathMilpConfig(k=k, time_limit_s=60.0),
-                solver_name="optimal",
-            )
-            optimal_power = optimal.power_w
-        except Exception:
-            # Fall back to the traffic-aware heuristic if the MILP cannot
-            # finish within its budget for the largest instances.
-            optimal_power = greente_heuristic(
-                topology, model, demands, k=k, allow_overload=True
-            ).power_w
-        power.append(100.0 * optimal_power / baseline)
-    return power
 
 
 def run_fig6(
@@ -208,8 +124,8 @@ def run_fig6(
 ) -> Fig6Result:
     """Reproduce Figure 6 on the synthetic Genuity topology.
 
-    Every variant (and the optimal lower bound) is an independent sweep
-    point fanned out through :mod:`repro.experiments.runner`.
+    Every variant (and the optimal lower bound) is an independent declarative
+    scenario fanned out through :mod:`repro.experiments.runner`.
 
     Args:
         utilisation_levels: Levels (percent of the calibrated maximum load).
@@ -219,40 +135,51 @@ def run_fig6(
         utilisation_threshold: REsPoNseTE's activation SLO during the replay.
         latency_beta: Latency bound of the REsPoNse-lat variant.
         k: Candidate paths per pair for the solvers.
-        power_model: Power model (Cisco 12000 by default).
+        power_model: Programmatic power-model override (Cisco 12000 spec by
+            default); a custom object cannot cross process boundaries, so it
+            forces serial in-process execution.
         seed: Seed for the pair selection and topology generation.
         parallel: Evaluate the variants over worker processes.
         cache_dir: Cache per-variant results under this directory.
     """
     levels = tuple(utilisation_levels)
-    sweep = Sweep(cache_dir=cache_dir)
-    for variant in FIG6_VARIANTS:
-        if variant == "optimal":
+    specs = {
+        variant: fig6_scenario_spec(
+            variant,
+            utilisation_levels=levels,
+            num_pairs=num_pairs,
+            num_endpoints=num_endpoints,
+            utilisation_threshold=utilisation_threshold,
+            latency_beta=latency_beta,
+            k=k,
+            seed=seed,
+        )
+        for variant in FIG6_VARIANTS
+    }
+
+    if (parallel or cache_dir) and power_model is None:
+        # Independent per-variant scenarios: parallel workers (or cache
+        # entries) each rebuild the deterministic shared setup.
+        sweep = Sweep(cache_dir=cache_dir)
+        for variant, spec in specs.items():
             sweep.add(
-                _fig6_optimal_power,
+                "repro.scenario.engine:run_scenario_dict",
                 label=variant,
-                utilisation_levels=levels,
-                num_pairs=num_pairs,
-                num_endpoints=num_endpoints,
-                k=k,
-                power_model=power_model,
-                seed=seed,
+                spec=spec.to_dict(),
             )
-        else:
-            sweep.add(
-                _fig6_variant_power,
-                label=variant,
-                variant=variant,
-                utilisation_levels=levels,
-                num_pairs=num_pairs,
-                num_endpoints=num_endpoints,
-                utilisation_threshold=utilisation_threshold,
-                latency_beta=latency_beta,
-                k=k,
-                power_model=power_model,
-                seed=seed,
-            )
-    power_percent = sweep.run_labelled(parallel=parallel)
-    return Fig6Result(
-        utilisation_levels=list(levels), power_percent=power_percent
-    )
+        results = sweep.run_labelled(parallel=parallel)
+        power_percent = {
+            variant: results[variant].power_percent[specs[variant].schemes[0].label]
+            for variant in FIG6_VARIANTS
+        }
+    else:
+        # Serial in-process run: one combined scenario, so the shared setup
+        # (topology, gravity matrix, max-load calibration) is built once for
+        # all five variants.  Variant names double as unique scheme labels.
+        combined = specs[FIG6_VARIANTS[0]].with_schemes(
+            *(spec.schemes[0] for spec in specs.values()), name="fig6"
+        )
+        result = run_scenario(combined, power_model=power_model)
+        power_percent = {variant: result.power_percent[variant] for variant in FIG6_VARIANTS}
+
+    return Fig6Result(utilisation_levels=list(levels), power_percent=power_percent)

@@ -18,13 +18,13 @@ from typing import Dict, List, Optional
 
 from ..core.plan import ResponsePlan
 from ..core.te import ResponseTEController, TEConfig
-from ..power.cisco import CiscoRouterPowerModel
 from ..routing.paths import RoutingTable
+from ..scenario import PowerSpec, TopologySpec
 from ..simulator.engine import SimulationEngine, SimulationResult
 from ..simulator.failures import FailureSchedule
 from ..simulator.flows import Flow, constant_demand
 from ..simulator.network import SimulatedNetwork
-from ..topology.example import CLICK_LINK_LATENCY_S, build_example, example_paths
+from ..topology.example import CLICK_LINK_LATENCY_S, example_paths
 from ..units import mbps
 
 #: The directed arcs identifying the three path groups plotted in the figure.
@@ -80,8 +80,8 @@ def run_fig7(
     time_step_s: float = 0.005,
 ) -> Fig7Result:
     """Reproduce the Click-testbed experiment on the flow-level simulator."""
-    topology = build_example(include_b=False)
-    power_model = CiscoRouterPowerModel()
+    topology = TopologySpec("example", include_b=False).build()
+    power_model = PowerSpec("cisco").build(topology)
     # The installed paths are those the paper draws in Figure 3: the middle
     # always-on path, the upper/lower on-demand paths and the (coinciding)
     # failover paths.

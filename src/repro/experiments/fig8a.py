@@ -15,14 +15,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.response import ResponseConfig, build_response_plan
 from ..core.te import ResponseTEController, TEConfig
-from ..power.cisco import CiscoRouterPowerModel
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+)
 from ..simulator.engine import SimulationEngine
 from ..simulator.flows import Flow, stepped_demand
 from ..simulator.network import SimulatedNetwork
-from ..topology.pop_access import build_pop_access, metro_routers
-from ..traffic.gravity import gravity_matrix
-from ..traffic.matrix import TrafficMatrix, select_random_pairs
-from ..traffic.scaling import calibrate_max_load
+from ..traffic.matrix import TrafficMatrix
 
 
 @dataclass
@@ -94,6 +97,10 @@ def run_fig8a(
 ) -> Fig8Result:
     """Reproduce the PoP-access ns-2 experiment on the flow-level simulator.
 
+    The stack (PoP-access topology × stepped calibrated gravity demand ×
+    Cisco power) is declarative; the flow-level simulation of the REsPoNseTE
+    control loop runs on top of the built scenario.
+
     Args:
         num_pairs: Metro-to-metro origin-destination pairs.
         step_duration_s: Seconds between demand changes (the paper uses 30 s).
@@ -106,28 +113,43 @@ def run_fig8a(
         time_step_s: Simulation step.
         seed: Pair-selection seed.
     """
-    topology = build_pop_access()
-    power_model = CiscoRouterPowerModel()
-    metros = metro_routers(topology)
-    pairs = select_random_pairs(metros, num_pairs, seed=seed)
-
     # The peak matrix keeps the gravity proportions and is calibrated, as in
     # the paper, to the largest volume the full network can carry (util-100):
     # the step to utilisation 1.0 then genuinely needs on-demand capacity.
-    base = gravity_matrix(topology, total_traffic_bps=1e9, pairs=pairs, name="pop-access")
-    peak = base.scaled(calibrate_max_load(topology, base), name="pop-access-peak")
-    levels = [peak.scaled(fraction) for fraction in utilisation_levels[:num_steps]]
+    spec = ScenarioSpec(
+        name="fig8a",
+        topology=TopologySpec("pop-access"),
+        traffic=TrafficSpec(
+            "gravity",
+            params=dict(
+                total_traffic_bps=1e9,
+                num_pairs=num_pairs,
+                level="metro",
+                pair_method="random",
+                calibrate=True,
+                levels=list(utilisation_levels[:num_steps]),
+                interval_s=step_duration_s,
+                name="pop-access",
+                seed=seed,
+            ),
+        ),
+        power=PowerSpec("cisco"),
+        utilisation_threshold=utilisation_threshold,
+    )
+    built = build_scenario(spec)
+    topology, power_model = built.topology, built.power_model
+    peak = built.peak_matrix()
 
     plan = build_response_plan(
         topology,
         power_model,
-        pairs=pairs,
+        pairs=built.pairs,
         peak_matrix=peak,
         config=ResponseConfig(num_paths=3, k=3),
     )
 
     network = SimulatedNetwork(topology, power_model, wake_delay_s=wake_delay_s)
-    steps = _demand_levels_to_steps(levels, step_duration_s)
+    steps = _demand_levels_to_steps(built.trace.matrices(), step_duration_s)
     flows = [
         Flow(f"{origin}->{destination}", origin, destination, stepped_demand(pair_steps))
         for (origin, destination), pair_steps in steps.items()

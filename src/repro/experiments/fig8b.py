@@ -10,19 +10,22 @@ carry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from ..core.response import ResponseConfig, build_response_plan
 from ..core.te import ResponseTEController, TEConfig
-from ..power.commodity import CommoditySwitchPowerModel
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+)
 from ..simulator.engine import SimulationEngine
 from ..simulator.flows import Flow, stepped_demand
 from ..simulator.network import SimulatedNetwork
-from ..topology.fattree import build_fattree
-from ..traffic.sinewave import fattree_sine_pairs, sine_fraction
 from ..units import gbps
-from .fig8a import Fig8Result, _measure_wake_stall
+from .fig8a import Fig8Result, _demand_levels_to_steps, _measure_wake_stall
 
 
 def run_fig8b(
@@ -36,40 +39,48 @@ def run_fig8b(
     mode: str = "far",
     seed: int = 8,
 ) -> Fig8Result:
-    """Reproduce the fat-tree ns-2 experiment on the flow-level simulator."""
-    topology = build_fattree(k)
-    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
-    pairs = fattree_sine_pairs(topology, mode, seed=seed)
+    """Reproduce the fat-tree ns-2 experiment on the flow-level simulator.
+
+    The stack (fat-tree × stepped sine-wave demand × commodity power) is
+    declarative; the flow-level simulation runs on the built scenario.
+    """
+    spec = ScenarioSpec(
+        name="fig8b",
+        topology=TopologySpec("fattree", k=k),
+        traffic=TrafficSpec(
+            "sinewave",
+            mode=mode,
+            num_intervals=num_steps,
+            period_intervals=num_steps,
+            peak_flow_bps=peak_flow_bps,
+            interval_s=step_duration_s,
+            seed=seed,
+        ),
+        power=PowerSpec("commodity", ports_at_peak=k),
+        utilisation_threshold=utilisation_threshold,
+    )
+    built = build_scenario(spec)
+    topology, power_model = built.topology, built.power_model
 
     # The datacenter plan uses traffic-aware (peak-matrix) on-demand paths: a
     # fat-tree's path diversity means the demand-oblivious stress heuristic
     # would fold the on-demand paths onto a single extra spanning tree, which
     # cannot absorb the sine wave's peak (the same reason Figure 2b needs ~5
     # energy-critical paths for the fat-tree but only ~3 for GÉANT).
-    from ..traffic.matrix import TrafficMatrix
-
-    peak_matrix = TrafficMatrix.uniform(pairs, peak_flow_bps, name="fattree-peak")
     plan = build_response_plan(
         topology,
         power_model,
-        pairs=pairs,
-        peak_matrix=peak_matrix,
+        pairs=built.pairs,
+        peak_matrix=built.peak_matrix(),
         config=ResponseConfig(num_paths=3, k=6, on_demand_method="peak"),
     )
 
     network = SimulatedNetwork(topology, power_model, wake_delay_s=wake_delay_s)
-    flows: List[Flow] = []
-    for origin, destination in pairs:
-        steps = [
-            (
-                index * step_duration_s,
-                peak_flow_bps * max(sine_fraction(index, num_steps), 0.05),
-            )
-            for index in range(num_steps)
-        ]
-        flows.append(
-            Flow(f"{origin}->{destination}", origin, destination, stepped_demand(steps))
-        )
+    steps = _demand_levels_to_steps(built.trace.matrices(), step_duration_s)
+    flows: List[Flow] = [
+        Flow(f"{origin}->{destination}", origin, destination, stepped_demand(pair_steps))
+        for (origin, destination), pair_steps in steps.items()
+    ]
 
     controller = ResponseTEController(
         plan,

@@ -24,10 +24,8 @@ from ..apps.streaming import (
 )
 from ..core.planner import activate_paths
 from ..core.response import ResponseConfig, build_response_plan
-from ..power.cisco import CiscoRouterPowerModel
-from ..routing.ospf import ospf_invcap_routing
 from ..routing.paths import RoutingTable
-from ..topology.rocketfuel import build_abovenet
+from ..scenario import PowerSpec, RoutingSpec, TopologySpec
 from ..traffic.matrix import TrafficMatrix
 from .runner import Sweep
 
@@ -90,8 +88,8 @@ def _fig9_shared(
     (like the seed did) while parallel workers each build their own copy;
     the returned objects must be treated as read-only.
     """
-    topology = build_abovenet()
-    power_model = CiscoRouterPowerModel()
+    topology = TopologySpec("abovenet").build()
+    power_model = PowerSpec("cisco").build(topology)
     config = StreamingConfig()
     if stream_rate_bps is not None:
         config = StreamingConfig(stream_rate_bps=stream_rate_bps)
@@ -107,7 +105,7 @@ def _fig9_shared(
         pairs=pairs,
         config=ResponseConfig(num_paths=3, k=3, latency_beta=latency_beta),
     )
-    invcap = ospf_invcap_routing(topology, pairs=pairs, name="invcap")
+    invcap = RoutingSpec("ospf-invcap", params={"name": "invcap"}).build(topology, pairs)
     return topology, power_model, config, source, all_clients, plan, invcap
 
 

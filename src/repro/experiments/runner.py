@@ -16,7 +16,10 @@ Three layers use this module:
 * the :mod:`benchmarks` drivers thread optional ``parallel``/``cache_dir``
   settings through to those drivers, and
 * the command line: ``python -m repro.experiments fig4 fig7`` runs whole
-  figures as sweep points (see :func:`main`).
+  figures as sweep points, ``python -m repro.experiments run-scenario``
+  executes a declarative :class:`~repro.scenario.spec.ScenarioSpec` (cached
+  by its config hash) and ``list-components`` shows the registered scenario
+  building blocks (see :func:`main`).
 """
 
 from __future__ import annotations
@@ -48,10 +51,14 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 
 #: Bump to invalidate every cached sweep point after incompatible changes.
-CACHE_VERSION = 1
+#: Version 2: NumPy scalars/arrays and nested dataclasses canonicalise like
+#: their pure-Python equivalents (see :func:`_canonical_value`).
+CACHE_VERSION = 2
 
 #: Figures runnable from the command line, resolved lazily by the workers.
 FIGURE_REGISTRY: Dict[str, str] = {
@@ -144,19 +151,29 @@ _MEMORY_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
 def _canonical_value(value: Any) -> Any:
     """A JSON-serialisable, process-stable view of a parameter value.
 
-    Primitives and containers pass through structurally; dataclasses and
-    plain objects become ``[class name, attributes]`` so that two equal
-    configurations hash identically across runs.  The last-resort ``repr``
-    must not carry a memory address: an address-bearing key would either
-    defeat the cache (never hit) or, after address reuse, silently alias a
-    different configuration's entry — so such values are rejected instead.
+    Primitives and containers pass through structurally; NumPy scalars and
+    arrays canonicalise exactly like the equivalent Python numbers and
+    (nested) lists, so a spec built from ``np.float64`` values hashes the
+    same as one built from floats.  Dataclasses and plain objects become
+    ``[class name, attributes]`` — field by field, so a dataclass nested
+    inside another canonicalises identically to the same dataclass passed
+    at top level.  The last-resort ``repr`` must not carry a memory
+    address: an address-bearing key would either defeat the cache (never
+    hit) or, after address reuse, silently alias a different
+    configuration's entry — so such values are rejected instead.
     """
+    if isinstance(value, np.generic):
+        # NumPy scalars (np.int64, np.float32, np.bool_, ...) hash like the
+        # Python value they wrap.
+        return _canonical_value(value.item())
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if inspect.isroutine(value) or inspect.isclass(value):
         # Functions/classes canonicalise to their import reference; lambdas
         # and locals raise (a silent shared hash would alias cache entries).
         return function_reference(value)
+    if isinstance(value, np.ndarray):
+        return _canonical_value(value.tolist())
     if isinstance(value, (list, tuple)):
         return [_canonical_value(item) for item in value]
     if isinstance(value, (set, frozenset)):
@@ -164,7 +181,14 @@ def _canonical_value(value: Any) -> Any:
     if isinstance(value, Mapping):
         return {str(key): _canonical_value(item) for key, item in sorted(value.items())}
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return [type(value).__qualname__, _canonical_value(dataclasses.asdict(value))]
+        # Canonicalise field by field (NOT via dataclasses.asdict, whose
+        # recursion flattens nested dataclasses into anonymous dicts: the
+        # same spec would then hash differently at top level vs. nested).
+        fields = {
+            f.name: _canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [type(value).__qualname__, fields]
     attributes = getattr(value, "__dict__", None)
     if isinstance(attributes, dict):
         return [type(value).__qualname__, _canonical_value(attributes)]
@@ -342,11 +366,199 @@ def run_sweep(
     return sweep.run(parallel=parallel)
 
 
+def _parse_setting_value(text: str) -> Any:
+    """A ``--set`` value: JSON when it parses, a bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _apply_setting(
+    data: Dict[str, Any], setting: str, parser: argparse.ArgumentParser
+) -> None:
+    """Apply one ``SECTION.KEY=VALUE`` override to a scenario spec dict."""
+    target, separator, value_text = setting.partition("=")
+    section, dot, key = target.partition(".")
+    if not separator or not dot or not key:
+        parser.error(f"--set expects SECTION.KEY=VALUE, got {setting!r}")
+    value = _parse_setting_value(value_text)
+    if section == "scenario":
+        data[key] = value
+        return
+    if section in ("topology", "traffic", "power", "routing"):
+        entry = data.get(section)
+        if entry is None:
+            parser.error(
+                f"--set {setting}: the spec has no {section} section yet "
+                f"(give --{section} or a --spec file first)"
+            )
+        if isinstance(entry, str):
+            entry = {"name": entry, "params": {}}
+        entry.setdefault("params", {})[key] = value
+        data[section] = entry
+        return
+    # Otherwise the section names a scheme by its label.
+    for index, scheme in enumerate(data.get("schemes", [])):
+        label = scheme if isinstance(scheme, str) else scheme.get("label", scheme.get("name"))
+        if label != section:
+            continue
+        if isinstance(scheme, str):
+            scheme = {"name": scheme, "params": {}}
+        scheme.setdefault("params", {})[key] = value
+        data["schemes"][index] = scheme
+        return
+    parser.error(
+        f"--set {setting}: {section!r} is neither a spec section "
+        "(scenario/topology/traffic/power/routing) nor a scheme label"
+    )
+
+
+def _run_scenario_command(argv: Sequence[str]) -> int:
+    """``run-scenario``: execute one declarative scenario spec."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run-scenario",
+        description=(
+            "Run a declarative scenario (topology x traffic x power x schemes). "
+            "Start from a JSON spec file and/or compose one from flags."
+        ),
+    )
+    parser.add_argument("--spec", help="scenario spec JSON file ('-' reads stdin)")
+    parser.add_argument("--name", help="override the scenario name")
+    parser.add_argument("--topology", help="registered topology name")
+    parser.add_argument("--traffic", help="registered traffic workload name")
+    parser.add_argument("--power", help="registered power model name")
+    parser.add_argument("--routing", help="registered baseline routing name")
+    parser.add_argument(
+        "--scheme",
+        action="append",
+        metavar="NAME",
+        help="registered scheme name (repeatable; replaces the spec's schemes)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="SECTION.KEY=VALUE",
+        help=(
+            "override a parameter; SECTION is scenario, topology, traffic, "
+            "power, routing or a scheme label (e.g. --set traffic.num_pairs=40)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache the result keyed by the spec's config hash"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from ..scenario import ScenarioSpec  # deferred: keeps plain sweeps import-light
+
+    data: Dict[str, Any] = {}
+    if args.spec:
+        if args.spec == "-":
+            import sys
+
+            data = json.loads(sys.stdin.read())
+        else:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+    for section, override in (
+        ("topology", args.topology),
+        ("traffic", args.traffic),
+        ("power", args.power),
+        ("routing", args.routing),
+    ):
+        if override:
+            data[section] = override  # a bare name resets the section's params
+    if args.scheme:
+        data["schemes"] = list(args.scheme)
+    if args.name:
+        data["name"] = args.name
+    for setting in args.set:
+        _apply_setting(data, setting, parser)
+    missing = [s for s in ("topology", "traffic", "power") if s not in data]
+    if missing:
+        parser.error(
+            f"scenario is missing {', '.join(missing)}; give --spec and/or "
+            "--topology/--traffic/--power (see list-components for names)"
+        )
+    if not data.get("schemes"):
+        parser.error("scenario names no schemes; add --scheme NAME at least once")
+
+    try:
+        spec = ScenarioSpec.from_dict(data).validate()
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+    sweep_point = spec.sweep_point()
+    sweep = Sweep([sweep_point], cache_dir=args.cache_dir)
+    cache_state = (
+        "disabled"
+        if not args.cache_dir
+        else ("hit" if sweep.cached_points() else "miss")
+    )
+    result = sweep.run()[0]
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"scenario: {result.name}")
+    print(f"config hash: {result.config_hash} (cache {cache_state})")
+    print(f"intervals: {len(result.times_s)}")
+    for label, stats in result.summary().items():
+        print(
+            f"  {label}: mean power {stats['mean_power_percent']:.1f}% "
+            f"(savings {stats['mean_savings_percent']:.1f}%), "
+            f"recomputations {int(stats['recomputations'])}"
+        )
+    return 0
+
+
+def _list_components_command(argv: Sequence[str]) -> int:
+    """``list-components``: show every registered scenario component."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments list-components",
+        description="List the registered scenario components per kind.",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=("topology", "traffic", "power", "routing", "scheme"),
+        help="only this component kind",
+    )
+    args = parser.parse_args(argv)
+
+    from ..scenario import registered_components, resolve
+
+    for kind, names in registered_components().items():
+        if args.kind and kind != args.kind:
+            continue
+        print(f"{kind}:")
+        for name in names:
+            doc = inspect.getdoc(resolve(kind, name)) or ""
+            summary = doc.splitlines()[0] if doc else ""
+            print(f"  {name:<20} {summary}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Command-line entry point: run registered figure experiments as a sweep."""
+    """Command-line entry point: figures as a sweep, plus scenario subcommands."""
+    import sys
+
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "run-scenario":
+        return _run_scenario_command(arguments[1:])
+    if arguments and arguments[0] == "list-components":
+        return _list_components_command(arguments[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run figure reproductions, optionally in parallel with caching.",
+        description=(
+            "Run figure reproductions, optionally in parallel with caching. "
+            "Subcommands: 'run-scenario' executes a declarative scenario "
+            "spec, 'list-components' shows the registered building blocks."
+        ),
     )
     parser.add_argument(
         "experiments",
@@ -360,7 +572,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--cache-dir", default=None, help="cache per-point results under this directory"
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.list:
         for name in sorted(FIGURE_REGISTRY):

@@ -13,18 +13,22 @@ can carry at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.always_on import AlwaysOnConfig, compute_always_on
 from ..core.on_demand import OnDemandConfig, compute_on_demand
 from ..core.plan import ResponsePlan
 from ..core.planner import activate_paths
-from ..power.cisco import CiscoRouterPowerModel
 from ..power.model import PowerModel
+from ..scenario import (
+    PowerSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+)
 from ..topology.base import Topology
-from ..topology.geant import build_geant
-from ..traffic.geant_trace import generate_geant_trace
-from ..traffic.matrix import TrafficMatrix, select_pairs_among_subset
+from ..traffic.matrix import TrafficMatrix
 
 
 @dataclass
@@ -75,12 +79,22 @@ def run_stress_ablation(
     of the synthetic GÉANT trace (the paper's peak-hour demands), not the
     theoretical maximum the full network could carry.
     """
-    topo = topology or build_geant()
-    model = power_model or CiscoRouterPowerModel()
-    pairs = select_pairs_among_subset(topo.routers(), num_endpoints, num_pairs, seed=seed)
-
-    trace = generate_geant_trace(topo, num_days=trace_days, pairs=pairs, seed=seed)
-    peak = trace.peak_matrix()
+    spec = ScenarioSpec(
+        name="stress-ablation",
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec(
+            "geant-trace",
+            num_days=trace_days,
+            num_pairs=num_pairs,
+            num_endpoints=num_endpoints,
+            seed=seed,
+        ),
+        power=PowerSpec("cisco"),
+        utilisation_threshold=utilisation_threshold,
+    )
+    built = build_scenario(spec, topology=topology, power_model=power_model)
+    topo, model, pairs = built.topology, built.power_model, built.pairs
+    peak = built.trace.peak_matrix()
 
     always_on = compute_always_on(topo, model, pairs=pairs, config=AlwaysOnConfig(k=3))
 

@@ -9,14 +9,12 @@ when we switch from OSPF-InvCap to REsPoNse".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..apps.web import WebConfig, WebResult, run_web_workload
 from ..core.response import ResponseConfig, build_response_plan
-from ..power.cisco import CiscoRouterPowerModel
-from ..routing.ospf import ospf_invcap_routing
 from ..routing.paths import RoutingTable
-from ..topology.rocketfuel import build_abovenet
+from ..scenario import PowerSpec, RoutingSpec, TopologySpec
 
 
 @dataclass
@@ -56,8 +54,8 @@ def run_web_latency(
     seed: int = 54,
 ) -> WebLatencyResult:
     """Reproduce the web-workload comparison on the synthetic Abovenet topology."""
-    topology = build_abovenet()
-    power_model = CiscoRouterPowerModel()
+    topology = TopologySpec("abovenet").build()
+    power_model = PowerSpec("cisco").build(topology)
     cfg = config or WebConfig()
 
     nodes = topology.routers()
@@ -75,7 +73,9 @@ def run_web_latency(
         config=ResponseConfig(num_paths=3, k=3, latency_beta=latency_beta),
     )
     response_routing: RoutingTable = plan.always_on_table
-    invcap_routing = ospf_invcap_routing(topology, pairs=pairs, name="invcap")
+    invcap_routing = RoutingSpec("ospf-invcap", params={"name": "invcap"}).build(
+        topology, pairs
+    )
 
     response_result = run_web_workload(topology, response_routing, server, clients, cfg)
     invcap_result = run_web_workload(topology, invcap_routing, server, clients, cfg)

@@ -12,13 +12,12 @@ matches (Figure 4) and as one source of on-demand paths for fat-trees.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..exceptions import TopologyError
 from ..power.model import PowerModel
-from ..routing.ospf import ospf_invcap_routing
 from ..routing.paths import RoutingTable, link_loads
-from ..topology.base import Topology, link_key
+from ..topology.base import Topology
 from ..topology.fattree import pod_of
 from ..traffic.matrix import TrafficMatrix
 from .solution import EnergyAwareSolution, solution_power

@@ -18,7 +18,7 @@ computing on-demand paths on large topologies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleError
 from ..power.model import PowerModel

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Set, Tuple
 
-import numpy as np
 
 from ..power.model import PowerModel
 from ..routing.mcf import is_demand_feasible

@@ -139,7 +139,6 @@ def solve_mcf(
         )
 
     node_index = {name: index for index, name in enumerate(nodes)}
-    arc_index = {arc.key: index for index, arc in enumerate(arcs)}
     num_arcs = len(arcs)
     num_origins = len(origins)
     num_vars = num_arcs * num_origins

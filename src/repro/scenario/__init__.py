@@ -1,0 +1,98 @@
+"""Declarative scenarios: registry-backed topology × traffic × power × solver.
+
+The paper's evaluation is a cross-product — topologies × traffic patterns ×
+power models × schemes (ECMP / GreenTE-style / ElasticTree / REsPoNse) — and
+this package is the single entry point that expresses any point of that
+product declaratively:
+
+* :class:`~repro.scenario.spec.ScenarioSpec` and the per-kind component
+  specs name every ingredient by its registry name plus plain parameters;
+  specs round-trip through dicts/JSON and hash stably for the sweep cache.
+* :func:`~repro.scenario.registry.register` adds new components; everything
+  the repo ships (fat-tree/GÉANT/Rocketfuel/PoP-access topologies, sine-wave
+  /gravity/GÉANT/Google workloads, Cisco/commodity/alternative power models,
+  ECMP/GreenTE/ElasticTree/LP/MILP/REsPoNse schemes) is pre-registered.
+* :func:`~repro.scenario.engine.build_scenario` /
+  :func:`~repro.scenario.engine.run_scenario` resolve and execute a spec,
+  returning a uniform :class:`~repro.scenario.engine.ScenarioResult`.
+
+A new scenario is one registration plus one spec — not a new module::
+
+    from repro.scenario import (
+        PowerSpec, ScenarioSpec, SchemeSpec, TopologySpec, TrafficSpec,
+        run_scenario,
+    )
+
+    result = run_scenario(ScenarioSpec(
+        name="geant-gravity",
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec("gravity", num_pairs=40, num_endpoints=12, seed=1),
+        power=PowerSpec("cisco"),
+        schemes=(SchemeSpec("response"), SchemeSpec("elastictree")),
+    ))
+"""
+
+from . import components  # noqa: F401  (populates the registry on import)
+from .components import BuiltTraffic, as_built_traffic, select_pairs
+from .engine import (
+    BuiltScenario,
+    ScenarioResult,
+    build_scenario,
+    run_built_scenario,
+    run_scenario,
+    run_scenario_dict,
+    scheme_outcomes,
+)
+from .registry import (
+    KINDS,
+    component_names,
+    is_registered,
+    register,
+    registered_components,
+    resolve,
+)
+from .schemes import (
+    CachedCandidatePaths,
+    SchemeOutcome,
+    greente_replay,
+)
+from .spec import (
+    DEFAULT_UTILISATION_THRESHOLD,
+    ComponentSpec,
+    PowerSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+
+__all__ = [
+    "KINDS",
+    "DEFAULT_UTILISATION_THRESHOLD",
+    "BuiltScenario",
+    "BuiltTraffic",
+    "CachedCandidatePaths",
+    "ComponentSpec",
+    "PowerSpec",
+    "RoutingSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SchemeOutcome",
+    "SchemeSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "as_built_traffic",
+    "build_scenario",
+    "component_names",
+    "greente_replay",
+    "is_registered",
+    "register",
+    "registered_components",
+    "resolve",
+    "run_built_scenario",
+    "run_scenario",
+    "run_scenario_dict",
+    "scheme_outcomes",
+    "select_pairs",
+]

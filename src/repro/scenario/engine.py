@@ -1,0 +1,261 @@
+"""The scenario engine: build and run declarative experiment specs.
+
+:func:`build_scenario` resolves a :class:`~repro.scenario.spec.ScenarioSpec`
+against the component registry into a concrete stack (topology, power model,
+traffic trace, pairs, optional baseline routing).  :func:`run_scenario`
+replays the trace under every scheme of the spec and returns a uniform
+:class:`ScenarioResult`.  :func:`run_scenario_dict` is the importable
+module-level entry point sweeps and worker processes resolve, which is what
+makes a spec's :meth:`~repro.scenario.spec.ScenarioSpec.config_hash` a
+sweep-cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..exceptions import ConfigurationError
+from ..power.accounting import full_power
+from ..power.model import PowerModel
+from ..routing.paths import RoutingTable
+from ..topology.base import Topology
+from ..traffic.matrix import Pair, TrafficMatrix
+from ..traffic.replay import TrafficTrace
+from .components import BuiltTraffic, as_built_traffic
+from .registry import resolve
+from .schemes import SchemeOutcome
+from .spec import ScenarioSpec
+
+
+@dataclass
+class BuiltScenario:
+    """A spec resolved into concrete objects, ready to run.
+
+    Attributes:
+        spec: The declarative spec this stack was built from.
+        topology: The physical network.
+        power_model: The device power model.
+        trace: The demand trace (a single matrix is a one-interval trace).
+        pairs: Origin-destination pairs of the workload, shared with plan
+            construction.
+        baseline_power_w: Power of the fully powered network (100 %).
+        routing: Optional baseline routing table (spec's ``routing`` section).
+        traffic: The full built workload, including its peak estimate.
+    """
+
+    spec: ScenarioSpec
+    topology: Topology
+    power_model: PowerModel
+    trace: TrafficTrace
+    pairs: List[Pair]
+    baseline_power_w: float
+    routing: Optional[RoutingTable] = None
+    traffic: Optional[BuiltTraffic] = None
+
+    @property
+    def utilisation_threshold(self) -> float:
+        """The spec's utilisation SLO (schemes may override it per-scheme)."""
+        return self.spec.utilisation_threshold
+
+    def peak_matrix(self) -> TrafficMatrix:
+        """The workload's peak demand estimate."""
+        if self.traffic is not None:
+            return self.traffic.peak()
+        return self.trace.peak_matrix()
+
+
+@dataclass
+class ScenarioResult:
+    """Uniform outcome of :func:`run_scenario`.
+
+    Attributes:
+        name: The scenario name (from the spec).
+        config_hash: The spec's sweep-cache hash — two runs with equal
+            hashes are the same experiment.
+        times_s: Interval start times of the replayed trace.
+        power_percent: Per-scheme power series (% of the original network),
+            keyed by scheme label.
+        recomputations: Per-scheme count of active-configuration changes
+            during the replay.
+        max_utilisation: Per-scheme largest arc utilisation per interval
+            (empty list where the scheme does not track it).
+        spec: The plain-dict spec the scenario was built from.
+    """
+
+    name: str
+    config_hash: str
+    times_s: List[float]
+    power_percent: Dict[str, List[float]]
+    recomputations: Dict[str, int]
+    max_utilisation: Dict[str, List[float]] = field(default_factory=dict)
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    def mean_power_percent(self, label: str) -> float:
+        """Average power of a scheme over the replay."""
+        series = self.power_percent[label]
+        return sum(series) / len(series) if series else 0.0
+
+    def mean_savings_percent(self, label: str) -> float:
+        """Average savings of a scheme relative to the full network."""
+        return 100.0 - self.mean_power_percent(label)
+
+    def labels(self) -> List[str]:
+        """Scheme labels, in spec order."""
+        return list(self.power_percent)
+
+    def rows(self) -> List[tuple]:
+        """Report rows: one ``(time, power per scheme...)`` tuple per interval."""
+        labels = self.labels()
+        return [
+            (time,) + tuple(self.power_percent[label][index] for label in labels)
+            for index, time in enumerate(self.times_s)
+        ]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-scheme headline numbers (mean power/savings, recomputations)."""
+        return {
+            label: {
+                "mean_power_percent": self.mean_power_percent(label),
+                "mean_savings_percent": self.mean_savings_percent(label),
+                "recomputations": float(self.recomputations.get(label, 0)),
+            }
+            for label in self.labels()
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready view of the result."""
+        return {
+            "name": self.name,
+            "config_hash": self.config_hash,
+            "times_s": list(self.times_s),
+            "power_percent": {k: list(v) for k, v in self.power_percent.items()},
+            "recomputations": dict(self.recomputations),
+            "max_utilisation": {k: list(v) for k, v in self.max_utilisation.items()},
+            "spec": self.spec,
+        }
+
+
+def _coerce_spec(spec: Any) -> ScenarioSpec:
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return ScenarioSpec.from_dict(spec)
+    raise ConfigurationError(
+        f"expected a ScenarioSpec or a spec mapping, got {type(spec).__qualname__}"
+    )
+
+
+def build_scenario(
+    spec: Any,
+    topology: Optional[Topology] = None,
+    power_model: Optional[PowerModel] = None,
+) -> BuiltScenario:
+    """Resolve a spec into a runnable stack.
+
+    Args:
+        spec: A :class:`ScenarioSpec` or its dict form.
+        topology: Programmatic override — drivers whose public signature
+            accepts a prebuilt :class:`Topology` pass it here instead of
+            expressing it as a spec.
+        power_model: Programmatic override for the power model, likewise.
+
+    Returns:
+        The :class:`BuiltScenario` with every component constructed.
+    """
+    scenario_spec = _coerce_spec(spec).validate()
+    topo = (
+        topology
+        if topology is not None
+        else scenario_spec.topology.build()
+    )
+    model = (
+        power_model
+        if power_model is not None
+        else scenario_spec.power.build(topo)
+    )
+    built = as_built_traffic(
+        scenario_spec.traffic.build(topo), scenario_spec.traffic.name
+    )
+    routing = None
+    if scenario_spec.routing is not None:
+        routing = scenario_spec.routing.build(topo, built.pairs)
+    return BuiltScenario(
+        spec=scenario_spec,
+        topology=topo,
+        power_model=model,
+        trace=built.trace,
+        pairs=list(built.pairs),
+        baseline_power_w=full_power(topo, model).total_w,
+        routing=routing,
+        traffic=built,
+    )
+
+
+def run_scenario(
+    spec: Any,
+    topology: Optional[Topology] = None,
+    power_model: Optional[PowerModel] = None,
+) -> ScenarioResult:
+    """Build a spec's stack and replay its trace under every scheme.
+
+    This is the single entry point behind the figure drivers, the
+    ``run-scenario`` CLI subcommand and ad-hoc sweeps: any composition of
+    registered topology × traffic × power × schemes runs through here.
+    """
+    scenario_spec = _coerce_spec(spec)
+    if not scenario_spec.schemes:
+        raise ConfigurationError(
+            "the scenario names no schemes; add at least one to its 'schemes' list"
+        )
+    built = build_scenario(scenario_spec, topology=topology, power_model=power_model)
+    return run_built_scenario(built)
+
+
+def run_built_scenario(built: BuiltScenario) -> ScenarioResult:
+    """Replay an already-built scenario under every scheme of its spec."""
+    outcomes: Dict[str, SchemeOutcome] = {}
+    num_intervals = len(built.trace)
+    for scheme in built.spec.schemes:
+        outcome = resolve("scheme", scheme.name)(built, **scheme.kwargs())
+        if len(outcome.power_percent) != num_intervals:
+            raise ConfigurationError(
+                f"scheme {scheme.label!r} returned {len(outcome.power_percent)} "
+                f"intervals for a {num_intervals}-interval trace"
+            )
+        outcomes[scheme.label] = outcome
+    return ScenarioResult(
+        name=built.spec.name,
+        config_hash=built.spec.config_hash(),
+        times_s=built.trace.timestamps(),
+        power_percent={label: o.power_percent for label, o in outcomes.items()},
+        recomputations={label: o.recomputations for label, o in outcomes.items()},
+        max_utilisation={
+            label: o.max_utilisation for label, o in outcomes.items() if o.max_utilisation
+        },
+        spec=built.spec.to_dict(),
+    )
+
+
+def run_scenario_dict(spec: Mapping[str, Any]) -> ScenarioResult:
+    """Run a scenario given as a plain dict (the sweep-point entry).
+
+    This module-level function is what
+    :meth:`~repro.scenario.spec.ScenarioSpec.sweep_point` references: worker
+    processes re-import it by name, and its single ``spec`` parameter is
+    canonicalised by :meth:`~repro.experiments.runner.SweepPoint.config_hash`
+    — equal specs hash (and cache) identically across processes.
+    """
+    return run_scenario(ScenarioSpec.from_dict(spec))
+
+
+def scheme_outcomes(built: BuiltScenario) -> Dict[str, SchemeOutcome]:
+    """Run every scheme of a built scenario, returning the raw outcomes.
+
+    For drivers that need scheme ``details`` (per-interval solutions,
+    activation objects) rather than the uniform :class:`ScenarioResult`.
+    """
+    return {
+        scheme.label: resolve("scheme", scheme.name)(built, **scheme.kwargs())
+        for scheme in built.spec.schemes
+    }

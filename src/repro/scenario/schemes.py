@@ -1,0 +1,472 @@
+"""Registered evaluation schemes: what gets compared on a scenario's stack.
+
+A scheme component receives the built scenario (topology, power model,
+traffic trace, pairs, baseline power) plus its spec parameters and returns a
+:class:`SchemeOutcome` — the per-interval power series and bookkeeping the
+uniform :class:`~repro.scenario.engine.ScenarioResult` is assembled from.
+Contract::
+
+    fn(scenario: BuiltScenario, **params) -> SchemeOutcome
+
+This module is also the home of the single cached-candidate GreenTE code
+path (:class:`CachedCandidatePaths`, :func:`greente_replay`) that the
+per-interval replay helpers in :mod:`repro.experiments.common` delegate to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.always_on import AlwaysOnConfig, compute_always_on
+from ..core.planner import activate_paths
+from ..core.response import ResponseConfig, build_response_plan
+from ..exceptions import ConfigurationError, TopologyError
+from ..optim.elastictree import elastictree_subset
+from ..optim.greedy import greedy_minimum_subset
+from ..optim.greente import greente_heuristic
+from ..optim.lp_relax import lp_relaxation_with_rounding
+from ..optim.pathmilp import PathMilpConfig, solve_path_milp
+from ..optim.solution import EnergyAwareSolution
+from ..power.accounting import full_power, network_power
+from ..power.model import PowerModel
+from ..routing.ecmp import ecmp_active_elements, ecmp_max_utilisation
+from ..routing.ksp import k_shortest_paths_all_pairs
+from ..routing.paths import Path, RoutingConfiguration
+from ..topology.base import Topology
+from ..traffic.matrix import Pair, TrafficMatrix
+from .registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import BuiltScenario
+
+
+@dataclass
+class SchemeOutcome:
+    """Uniform per-scheme result consumed by the scenario engine.
+
+    Attributes:
+        power_percent: Power (% of the fully powered network) per interval.
+        recomputations: How often the scheme changed its active-element
+            configuration during the replay (always 0 for REsPoNse, whose
+            paths are precomputed once).
+        max_utilisation: Largest arc utilisation per interval, where the
+            scheme knows it (empty otherwise).
+        details: Scheme-specific extras (per-interval solutions,
+            configurations, activation objects) for drivers that need more
+            than the uniform series.
+    """
+
+    power_percent: List[float]
+    recomputations: int = 0
+    max_utilisation: List[float] = field(default_factory=list)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- #
+# The single cached-candidate GreenTE code path
+# --------------------------------------------------------------------- #
+
+
+class CachedCandidatePaths:
+    """k-shortest candidate paths, computed once per (topology, pair set).
+
+    Per-interval solvers reuse one instance across a whole replay so the
+    candidate computation — the expensive part of short solves — is paid
+    once, not once per interval.  The cache is keyed by the pair set and
+    resets when a different topology object shows up (a solver instance is
+    meant to live within one replay).
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._topology: Optional[Topology] = None
+        self._cache: Dict[Tuple[Pair, ...], Mapping[Pair, Sequence[Path]]] = {}
+
+    def for_pairs(
+        self, topology: Topology, pairs: Sequence[Pair]
+    ) -> Mapping[Pair, Sequence[Path]]:
+        """Candidates for *pairs* on *topology*, cached across calls."""
+        key = tuple(sorted(pairs))
+        if topology is not self._topology:
+            self._topology = topology
+            self._cache = {}
+        if key not in self._cache:
+            self._cache[key] = k_shortest_paths_all_pairs(
+                topology, self.k, pairs=list(key)
+            )
+        return self._cache[key]
+
+
+def greente_replay(
+    topology: Topology,
+    power_model: PowerModel,
+    matrices: Sequence[TrafficMatrix],
+    k: int = 5,
+    utilisation_limit: float = 1.0,
+    pairs: Optional[Sequence[Pair]] = None,
+    ordering: str = "stable",
+    candidates: Optional[CachedCandidatePaths] = None,
+) -> List[EnergyAwareSolution]:
+    """Recompute the GreenTE routing for every matrix, caching candidates.
+
+    Candidate k-shortest paths are computed once for the union of pairs
+    across all matrices and shared by every per-interval solve — the one
+    code path behind :func:`repro.experiments.common.per_interval_solutions`
+    and the ``greente`` scheme.
+    """
+    cache = candidates if candidates is not None else CachedCandidatePaths(k)
+    if pairs is None:
+        pairs = sorted({pair for matrix in matrices for pair in matrix.pairs()})
+    candidate_paths = cache.for_pairs(topology, pairs)
+    return [
+        greente_heuristic(
+            topology,
+            power_model,
+            matrix,
+            k=k,
+            utilisation_limit=utilisation_limit,
+            candidate_paths=candidate_paths,
+            allow_overload=True,
+            ordering=ordering,
+        )
+        for matrix in matrices
+    ]
+
+
+def _configurations(solutions: Sequence[EnergyAwareSolution]) -> List[RoutingConfiguration]:
+    return [
+        RoutingConfiguration(
+            frozenset(solution.active_nodes), frozenset(solution.active_links)
+        )
+        for solution in solutions
+    ]
+
+
+def _count_changes(configurations: Sequence[RoutingConfiguration]) -> int:
+    return sum(
+        1
+        for index in range(1, len(configurations))
+        if configurations[index] != configurations[index - 1]
+    )
+
+
+def _solution_outcome(
+    scenario: "BuiltScenario", solutions: List[EnergyAwareSolution]
+) -> SchemeOutcome:
+    """Power series + recomputation count of a per-interval solver's output."""
+    configurations = _configurations(solutions)
+    return SchemeOutcome(
+        power_percent=[
+            100.0 * solution.power_w / scenario.baseline_power_w
+            for solution in solutions
+        ],
+        recomputations=_count_changes(configurations),
+        details={"solutions": solutions, "configurations": configurations},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Baselines
+# --------------------------------------------------------------------- #
+
+
+@register("scheme", "ospf")
+def _ospf_scheme(scenario: "BuiltScenario") -> SchemeOutcome:
+    """Plain OSPF keeps every element busy: flat 100 % of the original power."""
+    matrices = scenario.trace.matrices()
+    return SchemeOutcome(power_percent=[100.0 for _ in matrices])
+
+
+@register("scheme", "ecmp")
+def _ecmp_scheme(scenario: "BuiltScenario") -> SchemeOutcome:
+    """ECMP wakes every element on any shortest path of a demanded pair."""
+    power: List[float] = []
+    utilisation: List[float] = []
+    configurations: List[RoutingConfiguration] = []
+    for matrix in scenario.trace.matrices():
+        nodes, links = ecmp_active_elements(scenario.topology, matrix)
+        breakdown = network_power(scenario.topology, scenario.power_model, nodes, links)
+        power.append(100.0 * breakdown.total_w / scenario.baseline_power_w)
+        utilisation.append(ecmp_max_utilisation(scenario.topology, matrix))
+        configurations.append(
+            RoutingConfiguration(frozenset(nodes), frozenset(links))
+        )
+    return SchemeOutcome(
+        power_percent=power,
+        recomputations=_count_changes(configurations),
+        max_utilisation=utilisation,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Per-interval energy-aware recomputation
+# --------------------------------------------------------------------- #
+
+
+@register("scheme", "greente")
+def _greente_scheme(
+    scenario: "BuiltScenario",
+    k: int = 5,
+    utilisation_limit: float = 1.0,
+    ordering: str = "stable",
+) -> SchemeOutcome:
+    """GreenTE-style greedy recomputation on every interval (cached candidates)."""
+    solutions = greente_replay(
+        scenario.topology,
+        scenario.power_model,
+        scenario.trace.matrices(),
+        k=k,
+        utilisation_limit=utilisation_limit,
+        pairs=scenario.pairs,
+        ordering=ordering,
+    )
+    return _solution_outcome(scenario, solutions)
+
+
+@register("scheme", "elastictree")
+def _elastictree_scheme(
+    scenario: "BuiltScenario",
+    utilisation_limit: float = 1.0,
+) -> SchemeOutcome:
+    """ElasticTree's per-interval minimal subset.
+
+    On a fat-tree this is the pod-structured greedy of Heller et al.; on a
+    general topology (where ElasticTree's formal model does not apply) the
+    equivalent topology-agnostic greedy minimum subset stands in, so the
+    scheme composes with any registered topology.
+    """
+    topology = scenario.topology
+    solutions: List[EnergyAwareSolution] = []
+    for matrix in scenario.trace.matrices():
+        try:
+            solution = elastictree_subset(
+                topology, scenario.power_model, matrix, utilisation_limit=utilisation_limit
+            )
+        except TopologyError:
+            solution = greedy_minimum_subset(
+                topology, scenario.power_model, matrix, utilisation_limit=utilisation_limit
+            )
+        solutions.append(solution)
+    return _solution_outcome(scenario, solutions)
+
+
+@register("scheme", "greedy")
+def _greedy_scheme(
+    scenario: "BuiltScenario",
+    utilisation_limit: float = 1.0,
+) -> SchemeOutcome:
+    """Topology-agnostic greedy minimum subset per interval."""
+    solutions = [
+        greedy_minimum_subset(
+            scenario.topology,
+            scenario.power_model,
+            matrix,
+            utilisation_limit=utilisation_limit,
+        )
+        for matrix in scenario.trace.matrices()
+    ]
+    return _solution_outcome(scenario, solutions)
+
+
+@register("scheme", "lp-relax")
+def _lp_relax_scheme(
+    scenario: "BuiltScenario",
+    k: int = 3,
+    utilisation_limit: float = 1.0,
+) -> SchemeOutcome:
+    """LP relaxation with rounding and repair per interval."""
+    solutions = [
+        lp_relaxation_with_rounding(
+            scenario.topology,
+            scenario.power_model,
+            matrix,
+            k=k,
+            utilisation_limit=utilisation_limit,
+        )
+        for matrix in scenario.trace.matrices()
+    ]
+    return _solution_outcome(scenario, solutions)
+
+
+@register("scheme", "pathmilp")
+def _pathmilp_scheme(
+    scenario: "BuiltScenario",
+    k: int = 3,
+    utilisation_limit: float = 1.0,
+    time_limit_s: Optional[float] = 60.0,
+) -> SchemeOutcome:
+    """The exact path-restricted MILP per interval (slow; small instances)."""
+    config = PathMilpConfig(
+        k=k, utilisation_limit=utilisation_limit, time_limit_s=time_limit_s
+    )
+    solutions = [
+        solve_path_milp(scenario.topology, scenario.power_model, matrix, config=config)
+        for matrix in scenario.trace.matrices()
+    ]
+    return _solution_outcome(scenario, solutions)
+
+
+@register("scheme", "optimal")
+def _optimal_scheme(
+    scenario: "BuiltScenario",
+    k: int = 3,
+    time_limit_s: Optional[float] = 60.0,
+) -> SchemeOutcome:
+    """Per-interval optimal recomputation lower bound.
+
+    Tries the exact MILP and falls back to the traffic-aware GreenTE
+    heuristic when the solve cannot finish within its budget (the behaviour
+    the Figure 6 lower bound always had).
+    """
+    solutions: List[EnergyAwareSolution] = []
+    for matrix in scenario.trace.matrices():
+        try:
+            solution = solve_path_milp(
+                scenario.topology,
+                scenario.power_model,
+                matrix,
+                config=PathMilpConfig(k=k, time_limit_s=time_limit_s),
+                solver_name="optimal",
+            )
+        except Exception:
+            solution = greente_heuristic(
+                scenario.topology,
+                scenario.power_model,
+                matrix,
+                k=k,
+                allow_overload=True,
+            )
+        solutions.append(solution)
+    return _solution_outcome(scenario, solutions)
+
+
+# --------------------------------------------------------------------- #
+# REsPoNse: precomputed always-on / on-demand / failover paths
+# --------------------------------------------------------------------- #
+
+#: ResponseConfig fields settable straight from scheme params.
+_RESPONSE_CONFIG_FIELDS = (
+    "num_paths",
+    "latency_beta",
+    "on_demand_method",
+    "stress_exclude_fraction",
+    "k",
+    "utilisation_limit",
+    "always_on_method",
+    "include_failover",
+    "time_limit_s",
+)
+
+
+def _response_outcome(
+    scenario: "BuiltScenario",
+    variant: Optional[str] = None,
+    utilisation_threshold: Optional[float] = None,
+    use_peak_matrix: Optional[bool] = None,
+    **config_params: Any,
+) -> SchemeOutcome:
+    unknown = set(config_params) - set(_RESPONSE_CONFIG_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown response scheme parameters {sorted(unknown)}; "
+            f"supported: variant, utilisation_threshold, use_peak_matrix, "
+            f"{', '.join(_RESPONSE_CONFIG_FIELDS)}"
+        )
+    if variant is not None:
+        config = ResponseConfig.for_variant(variant, **config_params)
+    else:
+        config = ResponseConfig(**config_params)
+    if use_peak_matrix is None:
+        # The traffic-aware heuristic needs a peak estimate by definition.
+        use_peak_matrix = config.on_demand_method in ("peak", "heuristic")
+    threshold = (
+        utilisation_threshold
+        if utilisation_threshold is not None
+        else scenario.utilisation_threshold
+    )
+    plan = build_response_plan(
+        scenario.topology,
+        scenario.power_model,
+        pairs=scenario.pairs,
+        peak_matrix=scenario.peak_matrix() if use_peak_matrix else None,
+        config=config,
+    )
+    power: List[float] = []
+    utilisation: List[float] = []
+    activations = []
+    for matrix in scenario.trace.matrices():
+        activation = activate_paths(
+            scenario.topology,
+            scenario.power_model,
+            plan,
+            matrix,
+            utilisation_threshold=threshold,
+        )
+        power.append(activation.power_percent)
+        utilisation.append(activation.max_utilisation)
+        activations.append(activation)
+    # The plan is computed once, offline: a REsPoNse replay never recomputes.
+    return SchemeOutcome(
+        power_percent=power,
+        recomputations=0,
+        max_utilisation=utilisation,
+        details={"plan": plan, "activations": activations},
+    )
+
+
+register("scheme", "response")(_response_outcome)
+
+
+@register("scheme", "response-lat")
+def _response_lat_scheme(scenario: "BuiltScenario", **params: Any) -> SchemeOutcome:
+    """REsPoNse with the latency-bounded always-on paths (REsPoNse-lat)."""
+    return _response_outcome(scenario, variant="response-lat", **params)
+
+
+@register("scheme", "response-ospf")
+def _response_ospf_scheme(scenario: "BuiltScenario", **params: Any) -> SchemeOutcome:
+    """REsPoNse whose on-demand table is the plain OSPF table."""
+    return _response_outcome(scenario, variant="response-ospf", **params)
+
+
+@register("scheme", "response-heuristic")
+def _response_heuristic_scheme(scenario: "BuiltScenario", **params: Any) -> SchemeOutcome:
+    """REsPoNse with traffic-aware (GreenTE-computed) on-demand paths."""
+    return _response_outcome(scenario, variant="response-heuristic", **params)
+
+
+@register("scheme", "always-on")
+def _always_on_scheme(
+    scenario: "BuiltScenario",
+    k: int = 3,
+    latency_beta: Optional[float] = None,
+    always_on_method: str = "milp",
+) -> SchemeOutcome:
+    """Only the always-on subset, regardless of demand (its power floor)."""
+    always_on = compute_always_on(
+        scenario.topology,
+        scenario.power_model,
+        pairs=scenario.pairs,
+        config=AlwaysOnConfig(k=k, latency_beta=latency_beta, method=always_on_method),
+    )
+    percent = 100.0 * always_on.power_w / scenario.baseline_power_w
+    return SchemeOutcome(
+        power_percent=[percent for _ in scenario.trace.matrices()],
+        recomputations=0,
+        details={"always_on": always_on},
+    )
+
+
+def scenario_baseline_power(topology: Topology, power_model: PowerModel) -> float:
+    """Power of the fully powered network (the 100 % reference)."""
+    return full_power(topology, power_model).total_w

@@ -1,0 +1,357 @@
+"""Typed, declarative scenario specifications.
+
+A :class:`ScenarioSpec` names every ingredient of an experiment — topology,
+traffic workload, power model, optional baseline routing and one or more
+evaluation schemes — by its registry name plus plain keyword parameters.
+Specs are plain data: parameters must be JSON-serialisable, so every spec
+serialises to/from a dict (and therefore JSON) without loss, and feeds
+:meth:`~repro.experiments.runner.SweepPoint.config_hash` unchanged — every
+scenario is cacheable and sweepable by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .registry import KINDS, is_registered, resolve
+
+#: Default utilisation SLO used by activation-based schemes.
+DEFAULT_UTILISATION_THRESHOLD = 0.9
+
+
+def _plain(value: Any, context: str) -> Any:
+    """Normalise a parameter value to plain JSON types (tuples become lists).
+
+    Raises:
+        ConfigurationError: If the value cannot be represented in JSON —
+            specs must stay declarative so they hash and serialise stably.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(item, context) for item in value]
+    if isinstance(value, Mapping):
+        plain: Dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"{context}: mapping keys must be strings, got {key!r}"
+                )
+            plain[key] = _plain(item, context)
+        return plain
+    raise ConfigurationError(
+        f"{context}: parameter values must be JSON-serialisable "
+        f"(None/bool/int/float/str/list/dict), got {type(value).__qualname__}"
+    )
+
+
+class ComponentSpec:
+    """One named component plus its keyword parameters.
+
+    Attributes:
+        name: Registry name of the component (e.g. ``"geant"``).
+        params: Plain-data keyword parameters passed to the registered
+            builder (normalised: tuples become lists).
+    """
+
+    #: Registry kind; overridden by each concrete spec class.
+    kind = "component"
+
+    __slots__ = ("name", "params")
+
+    def __init__(self, name: str, params: Optional[Mapping[str, Any]] = None, **kwargs: Any):
+        if params and kwargs:
+            raise ConfigurationError(
+                "pass component parameters either as a mapping or as keywords, not both"
+            )
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"component name must be a non-empty string, got {name!r}")
+        merged = dict(params or {})
+        merged.update(kwargs)
+        self.name = name
+        self.params = _plain(merged, f"{self.kind} {name!r}")
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as a keyword-argument dictionary (a fresh copy)."""
+        return {key: value for key, value in self.params.items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) form: ``{"name": ..., "params": {...}}``."""
+        return {"name": self.name, "params": self.kwargs()}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ComponentSpec":
+        """Build a spec from ``{"name": ..., "params": {...}}`` or a bare name."""
+        if isinstance(data, str):
+            return cls(data)
+        if isinstance(data, cls):
+            return data
+        if not isinstance(data, Mapping) or "name" not in data:
+            raise ConfigurationError(
+                f"a {cls.kind} spec must be a name or a {{'name', 'params'}} mapping, "
+                f"got {data!r}"
+            )
+        allowed = {"name", "params", "label"} if cls is SchemeSpec else {"name", "params"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.kind} spec keys {sorted(unknown)} in {dict(data)!r}"
+            )
+        params = data.get("params") or {}
+        if cls is SchemeSpec:
+            return SchemeSpec(data["name"], params=params, label=data.get("label"))
+        return cls(data["name"], params=params)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if the named component is unknown."""
+        resolve(self.kind, self.name)  # raises with the registered-name list
+
+    def build(self, *args: Any, **overrides: Any) -> Any:
+        """Resolve the registered builder and call it.
+
+        Positional arguments come first (each kind's contract is documented
+        in :mod:`repro.scenario.components`), then the spec parameters, with
+        *overrides* taking precedence.
+        """
+        builder = resolve(self.kind, self.name)
+        merged = self.kwargs()
+        merged.update(overrides)
+        return builder(*args, **merged)
+
+    def with_params(self, **overrides: Any) -> "ComponentSpec":
+        """A copy with some parameters replaced/added."""
+        merged = self.kwargs()
+        merged.update(overrides)
+        return type(self)(self.name, params=merged)
+
+    def _key(self) -> str:
+        return json.dumps(
+            [type(self).__qualname__, self.to_dict()], sort_keys=True
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComponentSpec):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__qualname__}({self.name!r}, params={self.params!r})"
+
+
+class TopologySpec(ComponentSpec):
+    """Names a registered topology builder (``fattree``, ``geant``, ...)."""
+
+    kind = "topology"
+    __slots__ = ()
+
+
+class TrafficSpec(ComponentSpec):
+    """Names a registered traffic workload (``sinewave``, ``gravity``, ...)."""
+
+    kind = "traffic"
+    __slots__ = ()
+
+
+class PowerSpec(ComponentSpec):
+    """Names a registered power model (``cisco``, ``commodity``, ...)."""
+
+    kind = "power"
+    __slots__ = ()
+
+
+class RoutingSpec(ComponentSpec):
+    """Names a registered routing-table builder (``ospf-invcap``, ...)."""
+
+    kind = "routing"
+    __slots__ = ()
+
+
+class SchemeSpec(ComponentSpec):
+    """Names a registered evaluation scheme (``response``, ``elastictree``, ...).
+
+    Attributes:
+        label: Key of this scheme's series in the scenario result; defaults
+            to the scheme name (set it when evaluating the same scheme twice
+            with different parameters).
+    """
+
+    kind = "scheme"
+    __slots__ = ("label",)
+
+    def __init__(
+        self,
+        name: str,
+        params: Optional[Mapping[str, Any]] = None,
+        label: Optional[str] = None,
+        **kwargs: Any,
+    ):
+        super().__init__(name, params=params, **kwargs)
+        self.label = label or name
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        if self.label != self.name:
+            data["label"] = self.label
+        return data
+
+    def with_params(self, **overrides: Any) -> "SchemeSpec":
+        merged = self.kwargs()
+        merged.update(overrides)
+        return SchemeSpec(self.name, params=merged, label=self.label)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative experiment: topology × traffic × power × schemes.
+
+    Attributes:
+        topology: The network under evaluation.
+        traffic: The demand workload replayed over it.
+        power: The device power model.
+        schemes: Evaluation schemes compared on the same stack, in order.
+        routing: Optional baseline routing-table builder exposed to schemes
+            and drivers (e.g. OSPF-InvCap for latency comparisons).
+        utilisation_threshold: Link-utilisation SLO used by activation-based
+            schemes unless a scheme overrides it in its own params.
+        name: Human-readable scenario name (also the default result name).
+    """
+
+    topology: TopologySpec
+    traffic: TrafficSpec
+    power: PowerSpec
+    schemes: Tuple[SchemeSpec, ...] = ()
+    routing: Optional[RoutingSpec] = None
+    utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        labels = [scheme.label for scheme in self.schemes]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"scheme labels are not unique: {labels}")
+        if not 0.0 < self.utilisation_threshold <= 1.0:
+            raise ConfigurationError(
+                "utilisation_threshold must be in (0, 1], "
+                f"got {self.utilisation_threshold}"
+            )
+
+    def validate(self) -> "ScenarioSpec":
+        """Check every named component against the registry; returns ``self``."""
+        self.topology.validate()
+        self.traffic.validate()
+        self.power.validate()
+        if self.routing is not None:
+            self.routing.validate()
+        for scheme in self.schemes:
+            scheme.validate()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The plain-dict (JSON-ready) form consumed by :meth:`from_dict`."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "topology": self.topology.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "power": self.power.to_dict(),
+            "schemes": [scheme.to_dict() for scheme in self.schemes],
+            "utilisation_threshold": self.utilisation_threshold,
+        }
+        if self.routing is not None:
+            data["routing"] = self.routing.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"a scenario spec must be a mapping, got {data!r}")
+        missing = {"topology", "traffic", "power"} - set(data)
+        if missing:
+            raise ConfigurationError(
+                f"scenario spec is missing sections: {sorted(missing)}"
+            )
+        unknown = set(data) - {
+            "name",
+            "topology",
+            "traffic",
+            "power",
+            "routing",
+            "schemes",
+            "utilisation_threshold",
+        }
+        if unknown:
+            raise ConfigurationError(f"unknown scenario spec keys: {sorted(unknown)}")
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            traffic=TrafficSpec.from_dict(data["traffic"]),
+            power=PowerSpec.from_dict(data["power"]),
+            schemes=tuple(
+                SchemeSpec.from_dict(scheme) for scheme in data.get("schemes", ())
+            ),
+            routing=(
+                RoutingSpec.from_dict(data["routing"]) if data.get("routing") else None
+            ),
+            utilisation_threshold=float(
+                data.get("utilisation_threshold", DEFAULT_UTILISATION_THRESHOLD)
+            ),
+            name=str(data.get("name", "scenario")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a JSON document into a spec."""
+        return cls.from_dict(json.loads(text))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def config_hash(self) -> str:
+        """The sweep-cache hash of running this scenario (stable across processes)."""
+        return self.sweep_point().config_hash()
+
+    def sweep_point(self):
+        """This scenario as a :class:`~repro.experiments.runner.SweepPoint`.
+
+        The point's function is the importable
+        :func:`repro.scenario.engine.run_scenario_dict`, so a spec drops
+        straight into a :class:`~repro.experiments.runner.Sweep` and is
+        cached/fanned out like any other experiment point.
+        """
+        from ..experiments.runner import point
+
+        return point(
+            "repro.scenario.engine:run_scenario_dict",
+            label=self.name,
+            spec=self.to_dict(),
+        )
+
+    def with_schemes(self, *schemes: SchemeSpec, name: Optional[str] = None) -> "ScenarioSpec":
+        """A copy evaluating different schemes on the same stack."""
+        return replace(
+            self, schemes=tuple(schemes), name=name if name is not None else self.name
+        )
+
+    def scheme_labels(self) -> List[str]:
+        """The result-series labels, in scheme order."""
+        return [scheme.label for scheme in self.schemes]
+
+
+__all__ = [
+    "DEFAULT_UTILISATION_THRESHOLD",
+    "KINDS",
+    "ComponentSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "PowerSpec",
+    "RoutingSpec",
+    "SchemeSpec",
+    "ScenarioSpec",
+    "is_registered",
+]

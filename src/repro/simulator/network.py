@@ -22,7 +22,7 @@ from ..topology.base import Topology, link_key
 from .arcs import ArcTable, CompiledPath
 from .fairness import build_incidence, max_min_fair_rates
 from .flows import Flow, offered_load_vector
-from .links import NUM_LINK_STATES, LinkState, SimulatedLink
+from .links import LinkState, SimulatedLink
 
 #: Default wake-up delay (the ns-2 experiments' conservative 5 s bound).
 DEFAULT_WAKE_DELAY_S = 5.0

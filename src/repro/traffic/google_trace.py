@@ -15,7 +15,7 @@ relative change around 20 %, a tail of much larger swings).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ total offered traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..exceptions import TrafficError
 from ..topology.base import Topology

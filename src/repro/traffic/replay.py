@@ -9,7 +9,7 @@ and one :class:`~repro.traffic.matrix.TrafficMatrix` per interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from ..exceptions import TrafficError
 from .matrix import TrafficMatrix

@@ -12,7 +12,7 @@ with servers in other pods, through the network core."
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -112,6 +112,7 @@ def sine_wave_trace(
     interval_s: float = 60.0,
     utilisation_floor: float = 0.05,
     seed: Optional[int] = None,
+    pairs: Optional[List[Pair]] = None,
 ) -> TrafficTrace:
     """Build the ElasticTree-style sine-wave demand trace on a fat-tree.
 
@@ -126,13 +127,19 @@ def sine_wave_trace(
         utilisation_floor: Minimum per-flow fraction of the peak so that the
             matrix never becomes exactly zero (flows are long-lived).
         seed: Seed for the (deterministic) pairing of hosts.
+        pairs: Explicit host pairs to drive; defaults to
+            :func:`fattree_sine_pairs` with the given mode and seed.  Callers
+            that also need the pair list (to build plans or flows) should
+            compute it once and pass it in — with ``seed=None`` a second
+            :func:`fattree_sine_pairs` call would shuffle differently.
 
     Returns:
         A :class:`TrafficTrace` of ``num_intervals`` matrices.
     """
     if num_intervals <= 0:
         raise TrafficError(f"num_intervals must be positive, got {num_intervals}")
-    pairs = fattree_sine_pairs(topology, mode, seed=seed)
+    if pairs is None:
+        pairs = fattree_sine_pairs(topology, mode, seed=seed)
     matrices = []
     for index in range(num_intervals):
         fraction = max(sine_fraction(index, period_intervals), utilisation_floor)

@@ -17,7 +17,6 @@ from repro.analysis import (
 )
 from repro.exceptions import TrafficError
 from repro.routing import RoutingConfiguration, RoutingTable
-from repro.traffic import TrafficMatrix
 
 
 # --------------------------------------------------------------------- #

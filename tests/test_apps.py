@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps import (
-    StreamingConfig,
     WebConfig,
     pick_client_nodes,
     run_streaming_workload,
@@ -14,7 +13,7 @@ from repro.exceptions import ConfigurationError
 from repro.routing import ospf_invcap_routing
 from repro.topology import Topology, build_abovenet
 from repro.traffic import TrafficMatrix
-from repro.units import kbps, mbps
+from repro.units import mbps
 
 
 @pytest.fixture

@@ -20,7 +20,6 @@ from repro.core import (
 from repro.exceptions import ConfigurationError
 from repro.power import full_power
 from repro.routing import RoutingTable, ospf_invcap_routing
-from repro.topology import build_example
 from repro.traffic import TrafficMatrix
 from repro.units import mbps
 

@@ -14,8 +14,7 @@ from repro.core import (
     select_energy_critical_paths,
 )
 from repro.exceptions import ConfigurationError, TrafficError
-from repro.power import full_power
-from repro.routing import Path, RoutingTable
+from repro.routing import RoutingTable
 from repro.traffic import TrafficMatrix, TrafficTrace
 from repro.units import mbps
 

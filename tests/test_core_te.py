@@ -14,7 +14,7 @@ from repro.simulator import (
     constant_demand,
     stepped_demand,
 )
-from repro.topology import build_example, example_paths
+from repro.topology import example_paths
 from repro.units import mbps
 
 PAIRS = [("A", "K"), ("C", "K")]

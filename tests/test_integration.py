@@ -28,7 +28,6 @@ from repro.traffic import (
     gravity_matrix,
     select_pairs_among_subset,
 )
-from repro.units import mbps
 
 
 @pytest.fixture(scope="module")

@@ -4,8 +4,6 @@ import pytest
 
 from repro.exceptions import InfeasibleError, SolverError
 from repro.optim import (
-    ArcMilpConfig,
-    EnergyAwareSolution,
     PathMilpConfig,
     element_power_coefficients,
     elastictree_subset,

@@ -20,7 +20,7 @@ from repro.power.cisco import (
     OC48_PORT_POWER_W,
     OC192_PORT_POWER_W,
 )
-from repro.topology import Topology, build_fattree
+from repro.topology import Topology
 from repro.units import gbps, mbps
 
 

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.power import CiscoRouterPowerModel, full_power, network_power
-from repro.routing import Path, RoutingTable, link_loads, max_link_utilisation, solve_mcf
+from repro.routing import Path, link_loads, solve_mcf
 from repro.routing.ospf import ospf_invcap_routing
 from repro.simulator import Flow, SimulatedNetwork, constant_demand
 from repro.topology import random_connected_topology

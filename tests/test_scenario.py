@@ -1,0 +1,464 @@
+"""Tests for the declarative Scenario API (registry, specs, engine, CLI)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import Sweep, main
+from repro.scenario import (
+    PowerSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+    component_names,
+    register,
+    registered_components,
+    resolve,
+    run_scenario,
+    run_scenario_dict,
+)
+from repro.scenario.schemes import CachedCandidatePaths
+
+
+def tiny_fattree_spec(**overrides):
+    """A fast fat-tree scenario used across the engine tests."""
+    settings = dict(
+        name="tiny-fattree",
+        topology=TopologySpec("fattree", k=4),
+        traffic=TrafficSpec("sinewave", mode="near", num_intervals=2, seed=4),
+        power=PowerSpec("commodity", ports_at_peak=4),
+        schemes=(SchemeSpec("response", num_paths=3, k=4), SchemeSpec("ecmp")),
+    )
+    settings.update(overrides)
+    return ScenarioSpec(**settings)
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+
+def test_registry_contains_the_paper_cross_product():
+    components = registered_components()
+    assert {"fattree", "geant", "genuity", "abovenet", "pop-access"} <= set(
+        components["topology"]
+    )
+    assert {"sinewave", "gravity", "geant-trace", "google-trace"} <= set(
+        components["traffic"]
+    )
+    assert {"cisco", "commodity", "alternative"} <= set(components["power"])
+    assert {
+        "ecmp",
+        "greente",
+        "elastictree",
+        "lp-relax",
+        "pathmilp",
+        "response",
+        "response-lat",
+        "response-ospf",
+        "response-heuristic",
+    } <= set(components["scheme"])
+
+
+def test_unknown_component_error_lists_registered_names():
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve("topology", "nope")
+    message = str(excinfo.value)
+    assert "nope" in message
+    assert "fattree" in message and "geant" in message  # the fix is in the message
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError, match="unknown component kind"):
+        resolve("solver", "greente")
+    with pytest.raises(ConfigurationError, match="unknown component kind"):
+        register("solver", "x")
+
+
+def test_register_decorator_and_duplicate_rejection():
+    @register("scheme", "_test-flat")
+    def _flat(scenario):  # pragma: no cover - never executed
+        raise AssertionError
+
+    assert resolve("scheme", "_test-flat") is _flat
+    assert "_test-flat" in component_names("scheme")
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register("scheme", "_test-flat")(lambda scenario: None)
+
+
+# --------------------------------------------------------------------- #
+# Specs: round-trip, hashing, validation
+# --------------------------------------------------------------------- #
+
+
+def test_spec_round_trip_preserves_equality_and_hash():
+    spec = tiny_fattree_spec()
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.config_hash() == spec.config_hash()
+    via_json = ScenarioSpec.from_json(spec.to_json())
+    assert via_json == spec
+    assert via_json.config_hash() == spec.config_hash()
+
+
+def test_spec_hash_changes_with_parameters():
+    spec = tiny_fattree_spec()
+    other = tiny_fattree_spec(
+        traffic=TrafficSpec("sinewave", mode="far", num_intervals=2, seed=4)
+    )
+    assert spec.config_hash() != other.config_hash()
+
+
+def test_spec_tuples_normalise_to_lists():
+    spec = TrafficSpec("gravity", levels=(0.1, 0.5), pairs=(("FR", "DE"),))
+    assert spec.params["levels"] == [0.1, 0.5]
+    assert spec.params["pairs"] == [["FR", "DE"]]
+    rebuilt = TrafficSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+
+
+def test_spec_rejects_non_json_params():
+    with pytest.raises(ConfigurationError, match="JSON-serialisable"):
+        TopologySpec("fattree", k=object())
+
+
+def test_spec_from_dict_accepts_bare_names_and_rejects_unknown_keys():
+    spec = ScenarioSpec.from_dict(
+        {
+            "topology": "geant",
+            "traffic": {"name": "gravity", "params": {"num_pairs": 4, "num_endpoints": 3}},
+            "power": "cisco",
+            "schemes": ["ospf"],
+        }
+    )
+    assert spec.topology.name == "geant"
+    assert spec.schemes[0].label == "ospf"
+    with pytest.raises(ConfigurationError, match="missing sections"):
+        ScenarioSpec.from_dict({"topology": "geant"})
+    with pytest.raises(ConfigurationError, match="unknown scenario spec keys"):
+        ScenarioSpec.from_dict(
+            {"topology": "geant", "traffic": "gravity", "power": "cisco", "oops": 1}
+        )
+
+
+def test_duplicate_scheme_labels_rejected():
+    with pytest.raises(ConfigurationError, match="labels are not unique"):
+        tiny_fattree_spec(schemes=(SchemeSpec("ospf"), SchemeSpec("ospf")))
+    # Distinct labels make the same scheme usable twice.
+    spec = tiny_fattree_spec(
+        schemes=(
+            SchemeSpec("response", label="resp-k3", k=3),
+            SchemeSpec("response", label="resp-k4", k=4),
+        )
+    )
+    assert spec.scheme_labels() == ["resp-k3", "resp-k4"]
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_validate_names_the_unknown_component():
+    spec = tiny_fattree_spec(power=PowerSpec("fusion"))
+    with pytest.raises(ConfigurationError, match="unknown power component 'fusion'"):
+        spec.validate()
+
+
+# --------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------- #
+
+
+def test_build_scenario_constructs_the_stack():
+    built = build_scenario(tiny_fattree_spec())
+    assert built.topology.name == "fattree-k4"
+    assert len(built.trace) == 2
+    assert built.pairs and all(len(pair) == 2 for pair in built.pairs)
+    assert built.baseline_power_w > 0
+
+
+def test_run_scenario_returns_uniform_result():
+    spec = tiny_fattree_spec()
+    result = run_scenario(spec)
+    assert result.name == "tiny-fattree"
+    assert result.config_hash == spec.config_hash()
+    assert set(result.power_percent) == {"response", "ecmp"}
+    assert len(result.power_percent["response"]) == len(result.times_s) == 2
+    assert result.recomputations["response"] == 0
+    assert 0 < result.mean_power_percent("response") < 100
+    assert result.mean_savings_percent("response") > result.mean_savings_percent("ecmp")
+    # to_dict round-trips through JSON (the CLI --json output).
+    assert json.loads(json.dumps(result.to_dict()))["name"] == "tiny-fattree"
+
+
+def test_run_scenario_requires_schemes():
+    with pytest.raises(ConfigurationError, match="names no schemes"):
+        run_scenario(tiny_fattree_spec(schemes=()))
+
+
+def test_run_scenario_dict_equals_run_scenario():
+    spec = tiny_fattree_spec()
+    assert (
+        run_scenario_dict(spec.to_dict()).power_percent
+        == run_scenario(spec).power_percent
+    )
+
+
+def test_never_expressed_cross_product_geant_gravity_response_vs_elastictree(tmp_path):
+    """The acceptance scenario: GEANT x gravity x cisco, REsPoNse vs ElasticTree.
+
+    Runs end-to-end from a single JSON spec and hits the sweep cache on the
+    second run (same config hash).
+    """
+    spec = ScenarioSpec(
+        name="geant-gravity",
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec(
+            "gravity", num_pairs=12, num_endpoints=6, seed=1, calibrate=True,
+            levels=[0.25, 1.0],
+        ),
+        power=PowerSpec("cisco"),
+        schemes=(SchemeSpec("response", num_paths=3, k=3), SchemeSpec("elastictree")),
+    )
+    spec_from_json = ScenarioSpec.from_json(spec.to_json())
+    point = spec_from_json.sweep_point()
+    cache_dir = tmp_path / "cache"
+    sweep = Sweep([point], cache_dir=cache_dir)
+    assert sweep.cached_points() == []
+    first = sweep.run()[0]
+    assert set(first.power_percent) == {"response", "elastictree"}
+    assert all(0 < value <= 100 for value in first.power_percent["response"])
+    # Second run: the spec's config hash hits the cache.
+    assert sweep.cached_points() == [point]
+    second = Sweep([spec.sweep_point()], cache_dir=cache_dir).run()[0]
+    assert second.power_percent == first.power_percent
+
+
+def test_matrix_traffic_and_routing_sections():
+    spec = ScenarioSpec(
+        name="explicit",
+        topology=TopologySpec("example"),
+        traffic=TrafficSpec(
+            "matrix", demands=[["A", "K", 2e6], ["C", "K", 1e6]], interval_s=60.0
+        ),
+        power=PowerSpec("cisco"),
+        routing=RoutingSpec("ospf-invcap"),
+        schemes=(SchemeSpec("ospf"),),
+    )
+    built = build_scenario(spec)
+    assert built.pairs == [("A", "K"), ("C", "K")]
+    assert built.trace[0].demand("A", "K") == 2e6
+    assert built.routing is not None
+    assert built.routing.get("A", "K") is not None
+    result = run_scenario(spec)
+    assert result.power_percent["ospf"] == [100.0]
+
+
+def test_programmatic_overrides_take_precedence():
+    from repro.power.commodity import CommoditySwitchPowerModel
+
+    model = CommoditySwitchPowerModel(ports_at_peak=4)
+    built = build_scenario(tiny_fattree_spec(), power_model=model)
+    assert built.power_model is model
+
+
+# --------------------------------------------------------------------- #
+# GreenTE candidate caching (one code path)
+# --------------------------------------------------------------------- #
+
+
+def test_greente_interval_solver_caches_candidates(monkeypatch):
+    import repro.scenario.schemes as schemes_module
+    from repro.experiments.common import greente_interval_solver
+    from repro.power.commodity import CommoditySwitchPowerModel
+    from repro.topology.fattree import build_fattree, hosts
+    from repro.traffic.matrix import TrafficMatrix
+
+    calls = []
+    original = schemes_module.k_shortest_paths_all_pairs
+
+    def counting(topology, k, pairs=None):
+        calls.append(tuple(sorted(pairs)))
+        return original(topology, k, pairs=pairs)
+
+    monkeypatch.setattr(schemes_module, "k_shortest_paths_all_pairs", counting)
+
+    topology = build_fattree(4)
+    model = CommoditySwitchPowerModel(ports_at_peak=4)
+    host_names = hosts(topology)
+    pairs = [(host_names[0], host_names[4]), (host_names[1], host_names[5])]
+    solver = greente_interval_solver(k=3)
+    first = solver(topology, model, TrafficMatrix.uniform(pairs, 1e8))
+    second = solver(topology, model, TrafficMatrix.uniform(pairs, 2e8))
+    assert len(calls) == 1  # candidates computed once, reused across intervals
+    assert first.active_nodes and second.active_nodes
+
+
+def test_cached_candidates_reset_on_new_topology():
+    from repro.topology.fattree import build_fattree, hosts
+
+    cache = CachedCandidatePaths(k=2)
+    first_topology = build_fattree(4)
+    host_names = hosts(first_topology)
+    pairs = [(host_names[0], host_names[4])]
+    first = cache.for_pairs(first_topology, pairs)
+    assert cache.for_pairs(first_topology, pairs) is first
+    second_topology = build_fattree(4)
+    assert cache.for_pairs(second_topology, pairs) is not first
+
+
+# --------------------------------------------------------------------- #
+# CLI subcommands
+# --------------------------------------------------------------------- #
+
+
+def test_cli_list_components(capsys):
+    assert main(["list-components"]) == 0
+    output = capsys.readouterr().out
+    for kind in ("topology:", "traffic:", "power:", "routing:", "scheme:"):
+        assert kind in output
+    assert "fattree" in output and "response" in output
+
+
+def test_cli_run_scenario_from_json_spec_hits_cache(tmp_path, capsys):
+    spec = tiny_fattree_spec(schemes=(SchemeSpec("ospf"),))
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json())
+    cache_dir = tmp_path / "cache"
+
+    assert main(["run-scenario", "--spec", str(spec_path), "--cache-dir", str(cache_dir)]) == 0
+    first = capsys.readouterr().out
+    assert "cache miss" in first
+    assert spec.config_hash() in first
+    assert main(["run-scenario", "--spec", str(spec_path), "--cache-dir", str(cache_dir)]) == 0
+    second = capsys.readouterr().out
+    assert "cache hit" in second
+    assert "ospf: mean power 100.0%" in second
+
+
+def test_cli_run_scenario_from_flags_and_set_overrides(capsys):
+    assert (
+        main(
+            [
+                "run-scenario",
+                "--topology",
+                "fattree",
+                "--traffic",
+                "sinewave",
+                "--power",
+                "commodity",
+                "--scheme",
+                "ecmp",
+                "--set",
+                "topology.k=4",
+                "--set",
+                "traffic.num_intervals=2",
+                "--set",
+                "traffic.mode=near",
+                "--set",
+                "scenario.name=from-flags",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "from-flags"
+    assert payload["spec"]["topology"]["params"]["k"] == 4
+    assert len(payload["power_percent"]["ecmp"]) == 2
+
+
+def test_cli_run_scenario_rejects_unknown_component(capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run-scenario",
+                "--topology",
+                "moebius",
+                "--traffic",
+                "sinewave",
+                "--power",
+                "commodity",
+                "--scheme",
+                "ecmp",
+            ]
+        )
+    assert "registered topology components" in capsys.readouterr().err
+
+
+def test_cli_run_scenario_requires_sections(capsys):
+    with pytest.raises(SystemExit):
+        main(["run-scenario", "--topology", "geant"])
+    assert "missing" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Ported drivers: bit-identical to the pre-redesign construction
+# --------------------------------------------------------------------- #
+
+
+def test_fig4_is_bit_identical_to_pre_redesign_pipeline():
+    """The ported Figure 4 driver reproduces the hand-wired stack exactly.
+
+    This replays the pre-redesign fig4 computation — direct constructor
+    calls, no Scenario API — and requires float-for-float equality with
+    ``run_fig4``, which now builds everything through ``run_scenario``.
+    """
+    from repro.core.planner import activate_paths
+    from repro.core.response import ResponseConfig, build_response_plan
+    from repro.experiments.fig4 import run_fig4
+    from repro.optim.elastictree import elastictree_subset
+    from repro.power.accounting import full_power, network_power
+    from repro.power.commodity import CommoditySwitchPowerModel
+    from repro.routing.ecmp import ecmp_active_elements
+    from repro.topology.fattree import build_fattree
+    from repro.traffic.sinewave import fattree_sine_pairs, sine_wave_trace
+
+    k, num_intervals, threshold, seed = 4, 4, 0.9, 4
+    expected = {}
+
+    topology = build_fattree(k)
+    power_model = CommoditySwitchPowerModel(ports_at_peak=k)
+    baseline = full_power(topology, power_model).total_w
+    for mode in ("near", "far"):
+        trace = sine_wave_trace(
+            topology, mode=mode, num_intervals=num_intervals, seed=seed
+        )
+        pairs = fattree_sine_pairs(topology, mode, seed=seed)
+        plan = build_response_plan(
+            topology,
+            power_model,
+            pairs=pairs,
+            config=ResponseConfig(num_paths=3, k=4, include_failover=True),
+        )
+        response, elastictree = [], []
+        for matrix in trace.matrices():
+            activation = activate_paths(
+                topology, power_model, plan, matrix, utilisation_threshold=threshold
+            )
+            response.append(activation.power_percent)
+            subset = elastictree_subset(topology, power_model, matrix)
+            elastictree.append(100.0 * subset.power_w / baseline)
+        expected[f"response_{mode}"] = response
+        expected[f"elastictree_{mode}"] = elastictree
+    far_trace = sine_wave_trace(
+        topology, mode="far", num_intervals=num_intervals, seed=seed
+    )
+    ecmp = []
+    for matrix in far_trace.matrices():
+        nodes, links = ecmp_active_elements(topology, matrix)
+        ecmp_power = network_power(topology, power_model, nodes, links).total_w
+        ecmp.append(100.0 * ecmp_power / baseline)
+    expected["ecmp"] = ecmp
+
+    result = run_fig4(
+        k=k,
+        num_intervals=num_intervals,
+        utilisation_threshold=threshold,
+        include_elastictree=True,
+        seed=seed,
+    )
+    assert set(result.power_percent) == set(expected)
+    for key, series in expected.items():
+        assert result.power_percent[key] == series  # exact, not approx

@@ -52,6 +52,50 @@ def test_config_hash_is_order_insensitive_and_param_sensitive():
     assert multi_a.config_hash() == multi_b.config_hash()
 
 
+def test_config_hash_numpy_scalars_match_python_equivalents():
+    import numpy as np
+
+    numpy_point = point(
+        _square,
+        a=np.int64(3),
+        b=np.float64(1.5),
+        c=np.bool_(True),
+        d=np.array([1.0, 2.0]),
+    )
+    python_point = point(_square, a=3, b=1.5, c=True, d=[1.0, 2.0])
+    assert numpy_point.config_hash() == python_point.config_hash()
+    assert point(_square, a=np.int32(3)).config_hash() == point(_square, a=3).config_hash()
+    # 2-D arrays canonicalise like nested lists.
+    assert (
+        point(_square, m=np.arange(4.0).reshape(2, 2)).config_hash()
+        == point(_square, m=[[0.0, 1.0], [2.0, 3.0]]).config_hash()
+    )
+
+
+def test_config_hash_nested_dataclasses_match_top_level():
+    import dataclasses
+
+    @dataclasses.dataclass
+    class Inner:
+        x: int
+
+    @dataclasses.dataclass
+    class Outer:
+        inner: Inner
+        y: int
+
+    # The same Inner value must hash identically whether it appears at top
+    # level or nested inside another dataclass (regression: asdict used to
+    # flatten nested dataclasses into anonymous dicts).
+    from repro.experiments.runner import _canonical_value
+
+    direct = _canonical_value(Inner(x=1))
+    nested = _canonical_value(Outer(inner=Inner(x=1), y=2))
+    assert nested[1]["inner"] == direct
+    # And a plain dict with the same shape is NOT confused with a dataclass.
+    assert _canonical_value({"x": 1}) != direct
+
+
 def test_config_hash_distinguishes_callable_and_object_params():
     # Callable-valued params hash by import reference, not by (empty) __dict__.
     with_square = point(_record_and_square, fn=_square)

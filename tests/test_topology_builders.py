@@ -8,7 +8,6 @@ from repro.topology import (
     build_example,
     build_fattree,
     build_genuity,
-    build_geant,
     build_pop_access,
     build_rocketfuel,
     core_routers,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import TrafficError
-from repro.topology import build_fattree, build_geant
 from repro.traffic import (
     TrafficMatrix,
     TrafficTrace,
