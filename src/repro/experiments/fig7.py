@@ -19,9 +19,17 @@ from typing import Dict, List, Optional
 from ..core.plan import ResponsePlan
 from ..core.te import ResponseTEController, TEConfig
 from ..routing.paths import RoutingTable
-from ..scenario import PowerSpec, TopologySpec
+from ..scenario import (
+    EventSpec,
+    PowerSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+    failure_schedule,
+)
 from ..simulator.engine import SimulationEngine, SimulationResult
-from ..simulator.failures import FailureSchedule
 from ..simulator.flows import Flow, constant_demand
 from ..simulator.network import SimulatedNetwork
 from ..topology.example import CLICK_LINK_LATENCY_S, example_paths
@@ -79,9 +87,28 @@ def run_fig7(
     failure_detection_delay_s: float = 0.1,
     time_step_s: float = 0.005,
 ) -> Fig7Result:
-    """Reproduce the Click-testbed experiment on the flow-level simulator."""
-    topology = TopologySpec("example", include_b=False).build()
-    power_model = PowerSpec("cisco").build(topology)
+    """Reproduce the Click-testbed experiment on the flow-level simulator.
+
+    The stack and the mid-run failure are declared as a scenario spec — the
+    E-H link failure rides the ``events`` axis and is lowered to the
+    simulator's :class:`~repro.simulator.failures.FailureSchedule` via
+    :func:`~repro.scenario.timeline.failure_schedule`.
+    """
+    per_source_bps = flows_per_source * flow_rate_bps
+    spec = ScenarioSpec(
+        name="fig7",
+        topology=TopologySpec("example", include_b=False),
+        traffic=TrafficSpec(
+            "matrix",
+            demands=[["A", "K", per_source_bps], ["C", "K", per_source_bps]],
+            interval_s=end_s - start_s,
+        ),
+        power=PowerSpec("cisco"),
+        schemes=(SchemeSpec("response"),),
+        events=(EventSpec("link-failure", time_s=failure_s, link=["E", "H"]),),
+    )
+    built = build_scenario(spec)
+    topology, power_model = built.topology, built.power_model
     # The installed paths are those the paper draws in Figure 3: the middle
     # always-on path, the upper/lower on-demand paths and the (coinciding)
     # failover paths.
@@ -110,7 +137,7 @@ def run_fig7(
             initial_table_index=1,
         ),
     )
-    failures = FailureSchedule().fail_at(failure_s, "E", "H")
+    failures = failure_schedule(built.spec.events)
     engine = SimulationEngine(
         network,
         flows,

@@ -58,7 +58,9 @@ from ..exceptions import ConfigurationError
 #: Bump to invalidate every cached sweep point after incompatible changes.
 #: Version 2: NumPy scalars/arrays and nested dataclasses canonicalise like
 #: their pure-Python equivalents (see :func:`_canonical_value`).
-CACHE_VERSION = 2
+#: Version 3: scenario specs carry the dynamic ``events`` axis and scenario
+#: results gained event/reaction fields, so pre-events pickles are stale.
+CACHE_VERSION = 3
 
 #: Figures runnable from the command line, resolved lazily by the workers.
 FIGURE_REGISTRY: Dict[str, str] = {
@@ -398,6 +400,28 @@ def _apply_setting(
         entry.setdefault("params", {})[key] = value
         data[section] = entry
         return
+    if section == "events":
+        # events.<index>.<param>=VALUE targets one entry of the events list.
+        index_text, dot, param = key.partition(".")
+        events = data.get("events", [])
+        if not dot or not param or not index_text.isdigit():
+            parser.error(
+                f"--set {setting}: events overrides look like "
+                "events.<index>.<param>=VALUE (e.g. --set events.0.time_s=900)"
+            )
+        index = int(index_text)
+        if index >= len(events):
+            parser.error(
+                f"--set {setting}: the spec has {len(events)} event(s); "
+                f"index {index} is out of range (add --event NAME first)"
+            )
+        event = events[index]
+        if isinstance(event, str):
+            event = {"name": event, "params": {}}
+        event.setdefault("params", {})[param] = value
+        events[index] = event
+        data["events"] = events
+        return
     # Otherwise the section names a scheme by its label.
     for index, scheme in enumerate(data.get("schemes", [])):
         label = scheme if isinstance(scheme, str) else scheme.get("label", scheme.get("name"))
@@ -410,7 +434,7 @@ def _apply_setting(
         return
     parser.error(
         f"--set {setting}: {section!r} is neither a spec section "
-        "(scenario/topology/traffic/power/routing) nor a scheme label"
+        "(scenario/topology/traffic/power/routing/events) nor a scheme label"
     )
 
 
@@ -436,13 +460,23 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
         help="registered scheme name (repeatable; replaces the spec's schemes)",
     )
     parser.add_argument(
+        "--event",
+        action="append",
+        metavar="NAME",
+        help=(
+            "registered event kind appended to the spec's events "
+            "(repeatable; parameterise with --set events.<index>.<param>=VALUE)"
+        ),
+    )
+    parser.add_argument(
         "--set",
         action="append",
         default=[],
         metavar="SECTION.KEY=VALUE",
         help=(
             "override a parameter; SECTION is scenario, topology, traffic, "
-            "power, routing or a scheme label (e.g. --set traffic.num_pairs=40)"
+            "power, routing, events.<index> or a scheme label "
+            "(e.g. --set traffic.num_pairs=40, --set events.0.time_s=900)"
         ),
     )
     parser.add_argument(
@@ -450,6 +484,11 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--json", action="store_true", help="print the full result as JSON"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the full result as JSON to PATH (for post-processing)",
     )
     args = parser.parse_args(argv)
 
@@ -474,6 +513,8 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
             data[section] = override  # a bare name resets the section's params
     if args.scheme:
         data["schemes"] = list(args.scheme)
+    if args.event:
+        data["events"] = list(data.get("events", [])) + list(args.event)
     if args.name:
         data["name"] = args.name
     for setting in args.set:
@@ -501,12 +542,21 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
     )
     result = sweep.run()[0]
 
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
     print(f"scenario: {result.name}")
     print(f"config hash: {result.config_hash} (cache {cache_state})")
     print(f"intervals: {len(result.times_s)}")
+    for event in result.events:
+        described = {
+            k: v for k, v in event.items() if k not in ("time_s", "kind")
+        }
+        print(f"  event t={event['time_s']:g}s: {event['kind']} {described}")
     for label, stats in result.summary().items():
         print(
             f"  {label}: mean power {stats['mean_power_percent']:.1f}% "
@@ -524,7 +574,7 @@ def _list_components_command(argv: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--kind",
-        choices=("topology", "traffic", "power", "routing", "scheme"),
+        choices=("topology", "traffic", "power", "routing", "scheme", "event"),
         help="only this component kind",
     )
     args = parser.parse_args(argv)

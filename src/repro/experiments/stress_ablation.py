@@ -8,25 +8,34 @@ This ablation sweeps the exclusion fraction and, for every value, measures
 the largest gravity-shaped volume the combination of always-on and on-demand
 paths can absorb (using the activation planner), relative to what the network
 can carry at all.
+
+The ablation rides the scenario ``events`` axis: passing ``events`` (e.g. a
+``link-failure``) measures how much peak-hour load the precomputed paths
+still absorb on the degraded topology — the sensitivity question the paper's
+"react to failures in seconds" claim rests on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..core.always_on import AlwaysOnConfig, compute_always_on
 from ..core.on_demand import OnDemandConfig, compute_on_demand
 from ..core.plan import ResponsePlan
 from ..core.planner import activate_paths
+from ..exceptions import ConfigurationError
 from ..power.model import PowerModel
 from ..scenario import (
+    EventSpec,
     PowerSpec,
     ScenarioSpec,
     TopologySpec,
     TrafficSpec,
     build_scenario,
 )
+from ..scenario.timeline import TopologyChange, resolve_events
+from ..simulator.failures import TopologyView
 from ..topology.base import Topology
 from ..traffic.matrix import TrafficMatrix
 
@@ -40,10 +49,13 @@ class StressAblationResult:
         absorbable_load_fraction: For each fraction, the largest multiple of
             the calibrated maximum load that the always-on plus on-demand
             paths absorb without exceeding the utilisation threshold.
+        events: The injected events (JSON-ready records) the absorbable
+            load was measured under (empty = intact network).
     """
 
     fractions: List[float]
     absorbable_load_fraction: List[float]
+    events: List[dict] = field(default_factory=list)
 
     def rows(self) -> List[tuple]:
         """Report rows: (exclusion fraction, absorbable multiple of the peak)."""
@@ -72,12 +84,20 @@ def run_stress_ablation(
     topology: Optional[Topology] = None,
     power_model: Optional[PowerModel] = None,
     seed: int = 42,
+    events: Sequence[Union[EventSpec, Mapping[str, Any], str]] = (),
 ) -> StressAblationResult:
     """Sweep the stress-factor exclusion fraction on a GÉANT-like network.
 
     The "peak" against which every plan is measured is the element-wise peak
     of the synthetic GÉANT trace (the paper's peak-hour demands), not the
     theoretical maximum the full network could carry.
+
+    Args:
+        events: Optional scenario events (``EventSpec`` entries or their
+            dict/name forms).  Topology events are applied before measuring —
+            the plans are still computed offline on the intact network, so
+            the result answers "how much peak load do the precomputed paths
+            absorb after this failure?".
     """
     spec = ScenarioSpec(
         name="stress-ablation",
@@ -91,10 +111,12 @@ def run_stress_ablation(
         ),
         power=PowerSpec("cisco"),
         utilisation_threshold=utilisation_threshold,
+        events=tuple(EventSpec.from_dict(event) for event in events),
     )
     built = build_scenario(spec, topology=topology, power_model=power_model)
     topo, model, pairs = built.topology, built.power_model, built.pairs
     peak = built.trace.peak_matrix()
+    view, event_records = _final_view(topo, built.spec.events)
 
     always_on = compute_always_on(topo, model, pairs=pairs, config=AlwaysOnConfig(k=3))
 
@@ -117,11 +139,49 @@ def run_stress_ablation(
             variant=f"stress-{fraction:.2f}",
         )
         absorbed.append(
-            _max_absorbable_fraction(topo, model, plan, peak, utilisation_threshold)
+            _max_absorbable_fraction(
+                topo, model, plan, peak, utilisation_threshold, view=view
+            )
         )
     return StressAblationResult(
-        fractions=list(fractions), absorbable_load_fraction=absorbed
+        fractions=list(fractions),
+        absorbable_load_fraction=absorbed,
+        events=event_records,
     )
+
+
+def _final_view(
+    topology: Topology, events: Sequence[EventSpec]
+) -> Tuple[Optional[TopologyView], List[dict]]:
+    """The topology view after every scheduled topology event has fired."""
+    failed_links: Set[Tuple[str, str]] = set()
+    failed_nodes: Set[str] = set()
+    records: List[dict] = []
+    for event in resolve_events(events):
+        if not isinstance(event, TopologyChange):
+            # The ablation has no time axis to honour a surge window on;
+            # rejecting beats silently reporting intact-network numbers.
+            raise ConfigurationError(
+                f"stress ablation only supports topology events, got "
+                f"{event.kind!r}; scale the measured load via `fractions` instead"
+            )
+        records.append(event.record())
+        scheduled = event.to_scheduled()
+        if event.element == "link":
+            key = tuple(sorted(scheduled.link))
+            if event.action == "fail":
+                failed_links.add(key)
+            else:
+                failed_links.discard(key)
+        else:
+            if event.action == "fail":
+                failed_nodes.add(scheduled.node)
+            else:
+                failed_nodes.discard(scheduled.node)
+    if not failed_links and not failed_nodes:
+        return None, records
+    view = TopologyView(topology, failed_links=failed_links, failed_nodes=failed_nodes)
+    return view, records
 
 
 def _max_absorbable_fraction(
@@ -132,8 +192,15 @@ def _max_absorbable_fraction(
     utilisation_threshold: float,
     step: float = 0.1,
     limit: float = 3.0,
+    view: Optional[TopologyView] = None,
 ) -> float:
-    """Largest multiple of the peak matrix placed without overload."""
+    """Largest multiple of the peak matrix placed without overload.
+
+    With a failure-carrying *view*, installed paths crossing failed elements
+    are unusable during activation (the plans themselves stay as computed
+    offline on the intact network).
+    """
+    failed = set(view.unusable_links()) if view is not None else None
     feasible = 0.0
     fraction = step
     while fraction <= limit + 1e-9:
@@ -143,6 +210,8 @@ def _max_absorbable_fraction(
             plan,
             peak.scaled(fraction),
             utilisation_threshold=utilisation_threshold,
+            include_failover=failed is not None,
+            failed_links=failed,
         )
         if activation.overloaded_pairs:
             break

@@ -59,12 +59,24 @@ from .schemes import (
 from .spec import (
     DEFAULT_UTILISATION_THRESHOLD,
     ComponentSpec,
+    EventSpec,
     PowerSpec,
     RoutingSpec,
     ScenarioSpec,
     SchemeSpec,
     TopologySpec,
     TrafficSpec,
+)
+from .timeline import (
+    IntervalOutcome,
+    SchemeRuntime,
+    Timeline,
+    TimelineStep,
+    TopologyChange,
+    TrafficSurge,
+    build_timeline,
+    failure_schedule,
+    run_timeline,
 )
 
 __all__ = [
@@ -74,17 +86,26 @@ __all__ = [
     "BuiltTraffic",
     "CachedCandidatePaths",
     "ComponentSpec",
+    "EventSpec",
+    "IntervalOutcome",
     "PowerSpec",
     "RoutingSpec",
     "ScenarioResult",
     "ScenarioSpec",
     "SchemeOutcome",
+    "SchemeRuntime",
     "SchemeSpec",
+    "Timeline",
+    "TimelineStep",
+    "TopologyChange",
     "TopologySpec",
     "TrafficSpec",
+    "TrafficSurge",
     "as_built_traffic",
     "build_scenario",
+    "build_timeline",
     "component_names",
+    "failure_schedule",
     "greente_replay",
     "is_registered",
     "register",
@@ -93,6 +114,7 @@ __all__ = [
     "run_built_scenario",
     "run_scenario",
     "run_scenario_dict",
+    "run_timeline",
     "scheme_outcomes",
     "select_pairs",
 ]

@@ -3,11 +3,13 @@
 :func:`build_scenario` resolves a :class:`~repro.scenario.spec.ScenarioSpec`
 against the component registry into a concrete stack (topology, power model,
 traffic trace, pairs, optional baseline routing).  :func:`run_scenario`
-replays the trace under every scheme of the spec and returns a uniform
-:class:`ScenarioResult`.  :func:`run_scenario_dict` is the importable
-module-level entry point sweeps and worker processes resolve, which is what
-makes a spec's :meth:`~repro.scenario.spec.ScenarioSpec.config_hash` a
-sweep-cache key.
+drives the spec's schemes over the merged event/trace timeline
+(:func:`~repro.scenario.timeline.run_timeline`) and returns a uniform
+:class:`ScenarioResult` — including, for eventful scenarios, the fired
+events and per-event reaction metrics.  :func:`run_scenario_dict` is the
+importable module-level entry point sweeps and worker processes resolve,
+which is what makes a spec's
+:meth:`~repro.scenario.spec.ScenarioSpec.config_hash` a sweep-cache key.
 """
 
 from __future__ import annotations
@@ -23,9 +25,9 @@ from ..topology.base import Topology
 from ..traffic.matrix import Pair, TrafficMatrix
 from ..traffic.replay import TrafficTrace
 from .components import BuiltTraffic, as_built_traffic
-from .registry import resolve
 from .schemes import SchemeOutcome
 from .spec import ScenarioSpec
+from .timeline import run_timeline
 
 
 @dataclass
@@ -81,6 +83,17 @@ class ScenarioResult:
         max_utilisation: Per-scheme largest arc utilisation per interval
             (empty list where the scheme does not track it).
         spec: The plain-dict spec the scenario was built from.
+        events: Every dynamic event that took effect during the replay
+            (JSON-ready records, in firing order; empty for event-free runs).
+        compute_seconds: Per-scheme wall-clock cost of each timeline step —
+            the recomputation-latency proxy (how long the scheme took to
+            react to the interval's demand/topology).
+        violations: Per-scheme booleans per interval: whether the scheme's
+            max utilisation exceeded the spec's SLO (only schemes that track
+            utilisation appear).
+        reaction: Per-scheme reaction records, one per fired event: the
+            event, the interval it hit, and the scheme's post-event power,
+            utilisation, violation flag and step latency.
     """
 
     name: str
@@ -90,6 +103,10 @@ class ScenarioResult:
     recomputations: Dict[str, int]
     max_utilisation: Dict[str, List[float]] = field(default_factory=dict)
     spec: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    compute_seconds: Dict[str, List[float]] = field(default_factory=dict)
+    violations: Dict[str, List[bool]] = field(default_factory=dict)
+    reaction: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
 
     def mean_power_percent(self, label: str) -> float:
         """Average power of a scheme over the replay."""
@@ -133,7 +150,56 @@ class ScenarioResult:
             "recomputations": dict(self.recomputations),
             "max_utilisation": {k: list(v) for k, v in self.max_utilisation.items()},
             "spec": self.spec,
+            "events": [dict(event) for event in self.events],
+            "compute_seconds": {k: list(v) for k, v in self.compute_seconds.items()},
+            "violations": {k: list(v) for k, v in self.violations.items()},
+            "reaction": {
+                k: [dict(record) for record in v] for k, v in self.reaction.items()
+            },
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a ``--output`` file)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"a scenario result must be a mapping, got {data!r}"
+            )
+        missing = {"name", "config_hash", "times_s", "power_percent"} - set(data)
+        if missing:
+            raise ConfigurationError(
+                f"scenario result is missing fields: {sorted(missing)}"
+            )
+        return cls(
+            name=str(data["name"]),
+            config_hash=str(data["config_hash"]),
+            times_s=[float(t) for t in data["times_s"]],
+            power_percent={
+                str(k): [float(x) for x in v]
+                for k, v in data["power_percent"].items()
+            },
+            recomputations={
+                str(k): int(v) for k, v in data.get("recomputations", {}).items()
+            },
+            max_utilisation={
+                str(k): [float(x) for x in v]
+                for k, v in data.get("max_utilisation", {}).items()
+            },
+            spec=dict(data.get("spec", {})),
+            events=[dict(event) for event in data.get("events", [])],
+            compute_seconds={
+                str(k): [float(x) for x in v]
+                for k, v in data.get("compute_seconds", {}).items()
+            },
+            violations={
+                str(k): [bool(x) for x in v]
+                for k, v in data.get("violations", {}).items()
+            },
+            reaction={
+                str(k): [dict(record) for record in v]
+                for k, v in data.get("reaction", {}).items()
+            },
+        )
 
 
 def _coerce_spec(spec: Any) -> ScenarioSpec:
@@ -213,27 +279,37 @@ def run_scenario(
 
 
 def run_built_scenario(built: BuiltScenario) -> ScenarioResult:
-    """Replay an already-built scenario under every scheme of its spec."""
-    outcomes: Dict[str, SchemeOutcome] = {}
-    num_intervals = len(built.trace)
-    for scheme in built.spec.schemes:
-        outcome = resolve("scheme", scheme.name)(built, **scheme.kwargs())
-        if len(outcome.power_percent) != num_intervals:
-            raise ConfigurationError(
-                f"scheme {scheme.label!r} returned {len(outcome.power_percent)} "
-                f"intervals for a {num_intervals}-interval trace"
-            )
-        outcomes[scheme.label] = outcome
+    """Drive an already-built scenario's schemes over its merged timeline."""
+    run = run_timeline(built)
+    threshold = built.spec.utilisation_threshold
+    utilisation = {
+        label: scheme_run.max_utilisation() for label, scheme_run in run.schemes.items()
+    }
     return ScenarioResult(
         name=built.spec.name,
         config_hash=built.spec.config_hash(),
-        times_s=built.trace.timestamps(),
-        power_percent={label: o.power_percent for label, o in outcomes.items()},
-        recomputations={label: o.recomputations for label, o in outcomes.items()},
-        max_utilisation={
-            label: o.max_utilisation for label, o in outcomes.items() if o.max_utilisation
+        times_s=run.times_s,
+        power_percent={
+            label: scheme_run.power_percent()
+            for label, scheme_run in run.schemes.items()
         },
+        recomputations={
+            label: scheme_run.recomputations
+            for label, scheme_run in run.schemes.items()
+        },
+        max_utilisation={label: series for label, series in utilisation.items() if series},
         spec=built.spec.to_dict(),
+        events=run.events,
+        compute_seconds={
+            label: scheme_run.compute_seconds()
+            for label, scheme_run in run.schemes.items()
+        },
+        violations={
+            label: [value > threshold + 1e-9 for value in series]
+            for label, series in utilisation.items()
+            if series
+        },
+        reaction={label: records for label, records in run.reaction.items() if records},
     )
 
 
@@ -254,8 +330,16 @@ def scheme_outcomes(built: BuiltScenario) -> Dict[str, SchemeOutcome]:
 
     For drivers that need scheme ``details`` (per-interval solutions,
     activation objects) rather than the uniform :class:`ScenarioResult`.
+    The schemes run through the same timeline engine as
+    :func:`run_scenario`.
     """
+    run = run_timeline(built)
     return {
-        scheme.label: resolve("scheme", scheme.name)(built, **scheme.kwargs())
-        for scheme in built.spec.schemes
+        label: SchemeOutcome(
+            power_percent=scheme_run.power_percent(),
+            recomputations=scheme_run.recomputations,
+            max_utilisation=scheme_run.max_utilisation(),
+            details=scheme_run.details,
+        )
+        for label, scheme_run in run.schemes.items()
     }

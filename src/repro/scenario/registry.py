@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, List, Tuple
 from ..exceptions import ConfigurationError
 
 #: The component kinds a scenario is composed of.
-KINDS = ("topology", "traffic", "power", "routing", "scheme")
+KINDS = ("topology", "traffic", "power", "routing", "scheme", "event")
 
 _REGISTRY: Dict[Tuple[str, str], Callable[..., Any]] = {}
 

@@ -1,12 +1,20 @@
 """Registered evaluation schemes: what gets compared on a scenario's stack.
 
-A scheme component receives the built scenario (topology, power model,
-traffic trace, pairs, baseline power) plus its spec parameters and returns a
-:class:`SchemeOutcome` — the per-interval power series and bookkeeping the
-uniform :class:`~repro.scenario.engine.ScenarioResult` is assembled from.
-Contract::
+Every shipped scheme is a :class:`~repro.scenario.timeline.SchemeRuntime`
+subclass registered under ``("scheme", name)``: ``start(scenario)`` builds
+its long-lived state once (REsPoNse plans, candidate-path caches, warm-start
+memory), ``step(state, t, matrix, view)`` advances one interval against the
+failure-adjusted topology view.  The timeline engine drives the runtimes;
+`run_scenario` aggregates their per-interval outcomes.
+
+A scheme component may alternatively be a plain callable with the legacy
+contract::
 
     fn(scenario: BuiltScenario, **params) -> SchemeOutcome
+
+which the timeline wraps in a
+:class:`~repro.scenario.timeline.FunctionRuntime` — such schemes run
+unchanged on event-free scenarios but cannot react to dynamic events.
 
 This module is also the home of the single cached-candidate GreenTE code
 path (:class:`CachedCandidatePaths`, :func:`greente_replay`) that the
@@ -28,6 +36,7 @@ from typing import (
 )
 
 from ..core.always_on import AlwaysOnConfig, compute_always_on
+from ..core.failover import compute_failover
 from ..core.planner import activate_paths
 from ..core.response import ResponseConfig, build_response_plan
 from ..exceptions import ConfigurationError, TopologyError
@@ -42,9 +51,11 @@ from ..power.model import PowerModel
 from ..routing.ecmp import ecmp_active_elements, ecmp_max_utilisation
 from ..routing.ksp import k_shortest_paths_all_pairs
 from ..routing.paths import Path, RoutingConfiguration
+from ..simulator.failures import TopologyView
 from ..topology.base import Topology
 from ..traffic.matrix import Pair, TrafficMatrix
 from .registry import register
+from .timeline import IntervalOutcome, SchemeRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import BuiltScenario
@@ -84,7 +95,9 @@ class CachedCandidatePaths:
     candidate computation — the expensive part of short solves — is paid
     once, not once per interval.  The cache is keyed by the pair set and
     resets when a different topology object shows up (a solver instance is
-    meant to live within one replay).
+    meant to live within one replay; the timeline hands out one topology
+    object per failure state, so candidates recompute exactly when the
+    surviving topology changes).
     """
 
     def __init__(self, k: int) -> None:
@@ -143,36 +156,258 @@ def greente_replay(
     ]
 
 
-def _configurations(solutions: Sequence[EnergyAwareSolution]) -> List[RoutingConfiguration]:
-    return [
-        RoutingConfiguration(
-            frozenset(solution.active_nodes), frozenset(solution.active_links)
+def _configuration_of(solution: EnergyAwareSolution) -> RoutingConfiguration:
+    return RoutingConfiguration(
+        frozenset(solution.active_nodes), frozenset(solution.active_links)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Per-interval solver runtimes (GreenTE, ElasticTree, greedy, LP, MILP)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _ReplayState:
+    """Warm-start state shared by the per-interval solver runtimes."""
+
+    scenario: "BuiltScenario"
+    solutions: List[EnergyAwareSolution] = field(default_factory=list)
+    configurations: List[RoutingConfiguration] = field(default_factory=list)
+    prev_matrix: Optional[TrafficMatrix] = None
+    prev_view: Optional[TopologyView] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class SolverReplayRuntime(SchemeRuntime):
+    """Base runtime for schemes that re-solve an optimisation per interval.
+
+    Incremental behaviour on top of the cold-start loop of old:
+
+    * **unchanged-input memoisation** — when an interval repeats the
+      previous matrix on the same topology view, the previous solution is
+      reused verbatim (bit-identical, no solve);
+    * **failure awareness** — under failures the solver runs on the
+      surviving topology (:attr:`TopologyView.topology`) with the demand
+      matrix restricted to still-connected pairs;
+    * **solver-state reuse** — subclasses keep expensive per-replay state
+      (e.g. candidate paths) in ``state.extra`` across steps.
+    """
+
+    def start(self, scenario: "BuiltScenario") -> _ReplayState:
+        return _ReplayState(scenario=scenario)
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        """Solve one interval (subclasses implement the actual solver)."""
+        raise NotImplementedError
+
+    def step(
+        self,
+        state: _ReplayState,
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        if (
+            state.solutions
+            and state.prev_view is view
+            and state.prev_matrix == matrix
+        ):
+            solution = state.solutions[-1]
+        else:
+            effective = matrix
+            if view.has_failures:
+                effective = matrix.restricted_to(
+                    view.connected_pairs(matrix.pairs())
+                )
+            solution = self.solve(state, effective, view)
+        configuration = _configuration_of(solution)
+        recomputed = bool(state.configurations) and (
+            configuration != state.configurations[-1]
         )
-        for solution in solutions
-    ]
+        state.solutions.append(solution)
+        state.configurations.append(configuration)
+        state.prev_matrix = matrix
+        state.prev_view = view
+        return IntervalOutcome(
+            power_percent=100.0 * solution.power_w / state.scenario.baseline_power_w,
+            recomputed=recomputed,
+        )
+
+    def finish(self, state: _ReplayState) -> Dict[str, Any]:
+        return {
+            "solutions": state.solutions,
+            "configurations": state.configurations,
+        }
 
 
-def _count_changes(configurations: Sequence[RoutingConfiguration]) -> int:
-    return sum(
-        1
-        for index in range(1, len(configurations))
-        if configurations[index] != configurations[index - 1]
-    )
+@register("scheme", "greente")
+class GreenTERuntime(SolverReplayRuntime):
+    """GreenTE-style greedy recomputation on every interval (cached candidates)."""
+
+    def __init__(
+        self,
+        k: int = 5,
+        utilisation_limit: float = 1.0,
+        ordering: str = "stable",
+    ) -> None:
+        self.k = k
+        self.utilisation_limit = utilisation_limit
+        self.ordering = ordering
+
+    def start(self, scenario: "BuiltScenario") -> _ReplayState:
+        state = super().start(scenario)
+        state.extra["candidates"] = CachedCandidatePaths(self.k)
+        return state
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        scenario = state.scenario
+        pairs = scenario.pairs
+        if view.has_failures:
+            pairs = view.connected_pairs(pairs)
+        candidate_paths = state.extra["candidates"].for_pairs(view.topology, pairs)
+        return greente_heuristic(
+            view.topology,
+            scenario.power_model,
+            matrix,
+            k=self.k,
+            utilisation_limit=self.utilisation_limit,
+            candidate_paths=candidate_paths,
+            allow_overload=True,
+            ordering=self.ordering,
+        )
 
 
-def _solution_outcome(
-    scenario: "BuiltScenario", solutions: List[EnergyAwareSolution]
-) -> SchemeOutcome:
-    """Power series + recomputation count of a per-interval solver's output."""
-    configurations = _configurations(solutions)
-    return SchemeOutcome(
-        power_percent=[
-            100.0 * solution.power_w / scenario.baseline_power_w
-            for solution in solutions
-        ],
-        recomputations=_count_changes(configurations),
-        details={"solutions": solutions, "configurations": configurations},
-    )
+@register("scheme", "elastictree")
+class ElasticTreeRuntime(SolverReplayRuntime):
+    """ElasticTree's per-interval minimal subset.
+
+    On a fat-tree this is the pod-structured greedy of Heller et al.; on a
+    general topology (where ElasticTree's formal model does not apply) the
+    equivalent topology-agnostic greedy minimum subset stands in, so the
+    scheme composes with any registered topology.
+    """
+
+    def __init__(self, utilisation_limit: float = 1.0) -> None:
+        self.utilisation_limit = utilisation_limit
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        scenario = state.scenario
+        try:
+            return elastictree_subset(
+                view.topology,
+                scenario.power_model,
+                matrix,
+                utilisation_limit=self.utilisation_limit,
+            )
+        except TopologyError:
+            return greedy_minimum_subset(
+                view.topology,
+                scenario.power_model,
+                matrix,
+                utilisation_limit=self.utilisation_limit,
+            )
+
+
+@register("scheme", "greedy")
+class GreedyRuntime(SolverReplayRuntime):
+    """Topology-agnostic greedy minimum subset per interval."""
+
+    def __init__(self, utilisation_limit: float = 1.0) -> None:
+        self.utilisation_limit = utilisation_limit
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        return greedy_minimum_subset(
+            view.topology,
+            state.scenario.power_model,
+            matrix,
+            utilisation_limit=self.utilisation_limit,
+        )
+
+
+@register("scheme", "lp-relax")
+class LpRelaxRuntime(SolverReplayRuntime):
+    """LP relaxation with rounding and repair per interval."""
+
+    def __init__(self, k: int = 3, utilisation_limit: float = 1.0) -> None:
+        self.k = k
+        self.utilisation_limit = utilisation_limit
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        return lp_relaxation_with_rounding(
+            view.topology,
+            state.scenario.power_model,
+            matrix,
+            k=self.k,
+            utilisation_limit=self.utilisation_limit,
+        )
+
+
+@register("scheme", "pathmilp")
+class PathMilpRuntime(SolverReplayRuntime):
+    """The exact path-restricted MILP per interval (slow; small instances)."""
+
+    def __init__(
+        self,
+        k: int = 3,
+        utilisation_limit: float = 1.0,
+        time_limit_s: Optional[float] = 60.0,
+    ) -> None:
+        self.config = PathMilpConfig(
+            k=k, utilisation_limit=utilisation_limit, time_limit_s=time_limit_s
+        )
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        return solve_path_milp(
+            view.topology, state.scenario.power_model, matrix, config=self.config
+        )
+
+
+@register("scheme", "optimal")
+class OptimalRuntime(SolverReplayRuntime):
+    """Per-interval optimal recomputation lower bound.
+
+    Tries the exact MILP and falls back to the traffic-aware GreenTE
+    heuristic when the solve cannot finish within its budget (the behaviour
+    the Figure 6 lower bound always had).
+    """
+
+    def __init__(self, k: int = 3, time_limit_s: Optional[float] = 60.0) -> None:
+        self.k = k
+        self.time_limit_s = time_limit_s
+
+    def solve(
+        self, state: _ReplayState, matrix: TrafficMatrix, view: TopologyView
+    ) -> EnergyAwareSolution:
+        scenario = state.scenario
+        try:
+            return solve_path_milp(
+                view.topology,
+                scenario.power_model,
+                matrix,
+                config=PathMilpConfig(k=self.k, time_limit_s=self.time_limit_s),
+                solver_name="optimal",
+            )
+        except Exception:
+            return greente_heuristic(
+                view.topology,
+                scenario.power_model,
+                matrix,
+                k=self.k,
+                allow_overload=True,
+            )
 
 
 # --------------------------------------------------------------------- #
@@ -181,173 +416,64 @@ def _solution_outcome(
 
 
 @register("scheme", "ospf")
-def _ospf_scheme(scenario: "BuiltScenario") -> SchemeOutcome:
-    """Plain OSPF keeps every element busy: flat 100 % of the original power."""
-    matrices = scenario.trace.matrices()
-    return SchemeOutcome(power_percent=[100.0 for _ in matrices])
+class OSPFRuntime(SchemeRuntime):
+    """Plain OSPF keeps every surviving element busy: 100 % of the original
+    power on the intact network, the surviving subset's power under failures."""
+
+    def start(self, scenario: "BuiltScenario") -> "BuiltScenario":
+        return scenario
+
+    def step(
+        self,
+        state: "BuiltScenario",
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        if not view.has_failures:
+            return IntervalOutcome(power_percent=100.0)
+        surviving = view.topology
+        breakdown = network_power(
+            state.topology,
+            state.power_model,
+            set(surviving.nodes()),
+            set(surviving.link_keys()),
+        )
+        return IntervalOutcome(
+            power_percent=100.0 * breakdown.total_w / state.baseline_power_w
+        )
 
 
 @register("scheme", "ecmp")
-def _ecmp_scheme(scenario: "BuiltScenario") -> SchemeOutcome:
+class ECMPRuntime(SchemeRuntime):
     """ECMP wakes every element on any shortest path of a demanded pair."""
-    power: List[float] = []
-    utilisation: List[float] = []
-    configurations: List[RoutingConfiguration] = []
-    for matrix in scenario.trace.matrices():
-        nodes, links = ecmp_active_elements(scenario.topology, matrix)
+
+    def start(self, scenario: "BuiltScenario") -> _ReplayState:
+        return _ReplayState(scenario=scenario)
+
+    def step(
+        self,
+        state: _ReplayState,
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        scenario = state.scenario
+        effective = matrix
+        if view.has_failures:
+            effective = matrix.restricted_to(view.connected_pairs(matrix.pairs()))
+        nodes, links = ecmp_active_elements(view.topology, effective)
         breakdown = network_power(scenario.topology, scenario.power_model, nodes, links)
-        power.append(100.0 * breakdown.total_w / scenario.baseline_power_w)
-        utilisation.append(ecmp_max_utilisation(scenario.topology, matrix))
-        configurations.append(
-            RoutingConfiguration(frozenset(nodes), frozenset(links))
+        configuration = RoutingConfiguration(frozenset(nodes), frozenset(links))
+        recomputed = bool(state.configurations) and (
+            configuration != state.configurations[-1]
         )
-    return SchemeOutcome(
-        power_percent=power,
-        recomputations=_count_changes(configurations),
-        max_utilisation=utilisation,
-    )
-
-
-# --------------------------------------------------------------------- #
-# Per-interval energy-aware recomputation
-# --------------------------------------------------------------------- #
-
-
-@register("scheme", "greente")
-def _greente_scheme(
-    scenario: "BuiltScenario",
-    k: int = 5,
-    utilisation_limit: float = 1.0,
-    ordering: str = "stable",
-) -> SchemeOutcome:
-    """GreenTE-style greedy recomputation on every interval (cached candidates)."""
-    solutions = greente_replay(
-        scenario.topology,
-        scenario.power_model,
-        scenario.trace.matrices(),
-        k=k,
-        utilisation_limit=utilisation_limit,
-        pairs=scenario.pairs,
-        ordering=ordering,
-    )
-    return _solution_outcome(scenario, solutions)
-
-
-@register("scheme", "elastictree")
-def _elastictree_scheme(
-    scenario: "BuiltScenario",
-    utilisation_limit: float = 1.0,
-) -> SchemeOutcome:
-    """ElasticTree's per-interval minimal subset.
-
-    On a fat-tree this is the pod-structured greedy of Heller et al.; on a
-    general topology (where ElasticTree's formal model does not apply) the
-    equivalent topology-agnostic greedy minimum subset stands in, so the
-    scheme composes with any registered topology.
-    """
-    topology = scenario.topology
-    solutions: List[EnergyAwareSolution] = []
-    for matrix in scenario.trace.matrices():
-        try:
-            solution = elastictree_subset(
-                topology, scenario.power_model, matrix, utilisation_limit=utilisation_limit
-            )
-        except TopologyError:
-            solution = greedy_minimum_subset(
-                topology, scenario.power_model, matrix, utilisation_limit=utilisation_limit
-            )
-        solutions.append(solution)
-    return _solution_outcome(scenario, solutions)
-
-
-@register("scheme", "greedy")
-def _greedy_scheme(
-    scenario: "BuiltScenario",
-    utilisation_limit: float = 1.0,
-) -> SchemeOutcome:
-    """Topology-agnostic greedy minimum subset per interval."""
-    solutions = [
-        greedy_minimum_subset(
-            scenario.topology,
-            scenario.power_model,
-            matrix,
-            utilisation_limit=utilisation_limit,
+        state.configurations.append(configuration)
+        return IntervalOutcome(
+            power_percent=100.0 * breakdown.total_w / scenario.baseline_power_w,
+            max_utilisation=ecmp_max_utilisation(view.topology, effective),
+            recomputed=recomputed,
         )
-        for matrix in scenario.trace.matrices()
-    ]
-    return _solution_outcome(scenario, solutions)
-
-
-@register("scheme", "lp-relax")
-def _lp_relax_scheme(
-    scenario: "BuiltScenario",
-    k: int = 3,
-    utilisation_limit: float = 1.0,
-) -> SchemeOutcome:
-    """LP relaxation with rounding and repair per interval."""
-    solutions = [
-        lp_relaxation_with_rounding(
-            scenario.topology,
-            scenario.power_model,
-            matrix,
-            k=k,
-            utilisation_limit=utilisation_limit,
-        )
-        for matrix in scenario.trace.matrices()
-    ]
-    return _solution_outcome(scenario, solutions)
-
-
-@register("scheme", "pathmilp")
-def _pathmilp_scheme(
-    scenario: "BuiltScenario",
-    k: int = 3,
-    utilisation_limit: float = 1.0,
-    time_limit_s: Optional[float] = 60.0,
-) -> SchemeOutcome:
-    """The exact path-restricted MILP per interval (slow; small instances)."""
-    config = PathMilpConfig(
-        k=k, utilisation_limit=utilisation_limit, time_limit_s=time_limit_s
-    )
-    solutions = [
-        solve_path_milp(scenario.topology, scenario.power_model, matrix, config=config)
-        for matrix in scenario.trace.matrices()
-    ]
-    return _solution_outcome(scenario, solutions)
-
-
-@register("scheme", "optimal")
-def _optimal_scheme(
-    scenario: "BuiltScenario",
-    k: int = 3,
-    time_limit_s: Optional[float] = 60.0,
-) -> SchemeOutcome:
-    """Per-interval optimal recomputation lower bound.
-
-    Tries the exact MILP and falls back to the traffic-aware GreenTE
-    heuristic when the solve cannot finish within its budget (the behaviour
-    the Figure 6 lower bound always had).
-    """
-    solutions: List[EnergyAwareSolution] = []
-    for matrix in scenario.trace.matrices():
-        try:
-            solution = solve_path_milp(
-                scenario.topology,
-                scenario.power_model,
-                matrix,
-                config=PathMilpConfig(k=k, time_limit_s=time_limit_s),
-                solver_name="optimal",
-            )
-        except Exception:
-            solution = greente_heuristic(
-                scenario.topology,
-                scenario.power_model,
-                matrix,
-                k=k,
-                allow_overload=True,
-            )
-        solutions.append(solution)
-    return _solution_outcome(scenario, solutions)
 
 
 # --------------------------------------------------------------------- #
@@ -368,103 +494,177 @@ _RESPONSE_CONFIG_FIELDS = (
 )
 
 
-def _response_outcome(
-    scenario: "BuiltScenario",
-    variant: Optional[str] = None,
-    utilisation_threshold: Optional[float] = None,
-    use_peak_matrix: Optional[bool] = None,
-    **config_params: Any,
-) -> SchemeOutcome:
-    unknown = set(config_params) - set(_RESPONSE_CONFIG_FIELDS)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown response scheme parameters {sorted(unknown)}; "
-            f"supported: variant, utilisation_threshold, use_peak_matrix, "
-            f"{', '.join(_RESPONSE_CONFIG_FIELDS)}"
+@dataclass
+class _ResponseState:
+    """Per-replay state of a REsPoNse runtime: the installed plan."""
+
+    scenario: "BuiltScenario"
+    plan: Any
+    threshold: float
+    activations: List[Any] = field(default_factory=list)
+    failover_recomputed: bool = False
+
+
+class ResponseRuntime(SchemeRuntime):
+    """REsPoNse: the plan is precomputed once, steps only switch activation.
+
+    ``start`` runs the complete offline pipeline (always-on, on-demand,
+    failover paths); every ``step`` merely activates installed paths for the
+    interval's demand — the online behaviour the paper claims reacts in
+    seconds.  On failure events the activation excludes paths crossing
+    failed elements and engages the failover table
+    (:func:`~repro.core.failover.compute_failover` is run lazily when the
+    plan was built without one).
+    """
+
+    #: Default paper variant; subclasses override.
+    variant: Optional[str] = None
+
+    def __init__(
+        self,
+        variant: Optional[str] = None,
+        utilisation_threshold: Optional[float] = None,
+        use_peak_matrix: Optional[bool] = None,
+        **config_params: Any,
+    ) -> None:
+        unknown = set(config_params) - set(_RESPONSE_CONFIG_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown response scheme parameters {sorted(unknown)}; "
+                f"supported: variant, utilisation_threshold, use_peak_matrix, "
+                f"{', '.join(_RESPONSE_CONFIG_FIELDS)}"
+            )
+        selected_variant = variant if variant is not None else type(self).variant
+        if selected_variant is not None:
+            self.config = ResponseConfig.for_variant(selected_variant, **config_params)
+        else:
+            self.config = ResponseConfig(**config_params)
+        self.utilisation_threshold = utilisation_threshold
+        if use_peak_matrix is None:
+            # The traffic-aware heuristic needs a peak estimate by definition.
+            use_peak_matrix = self.config.on_demand_method in ("peak", "heuristic")
+        self.use_peak_matrix = use_peak_matrix
+
+    def start(self, scenario: "BuiltScenario") -> _ResponseState:
+        plan = build_response_plan(
+            scenario.topology,
+            scenario.power_model,
+            pairs=scenario.pairs,
+            peak_matrix=scenario.peak_matrix() if self.use_peak_matrix else None,
+            config=self.config,
         )
-    if variant is not None:
-        config = ResponseConfig.for_variant(variant, **config_params)
-    else:
-        config = ResponseConfig(**config_params)
-    if use_peak_matrix is None:
-        # The traffic-aware heuristic needs a peak estimate by definition.
-        use_peak_matrix = config.on_demand_method in ("peak", "heuristic")
-    threshold = (
-        utilisation_threshold
-        if utilisation_threshold is not None
-        else scenario.utilisation_threshold
-    )
-    plan = build_response_plan(
-        scenario.topology,
-        scenario.power_model,
-        pairs=scenario.pairs,
-        peak_matrix=scenario.peak_matrix() if use_peak_matrix else None,
-        config=config,
-    )
-    power: List[float] = []
-    utilisation: List[float] = []
-    activations = []
-    for matrix in scenario.trace.matrices():
+        threshold = (
+            self.utilisation_threshold
+            if self.utilisation_threshold is not None
+            else scenario.utilisation_threshold
+        )
+        return _ResponseState(scenario=scenario, plan=plan, threshold=threshold)
+
+    def step(
+        self,
+        state: _ResponseState,
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        scenario = state.scenario
+        recomputed = False
+        if view.has_failures and state.plan.failover is None:
+            # The plan was built without failover protection: compute it on
+            # the first failure (the one recomputation REsPoNse ever does).
+            state.plan.failover = compute_failover(
+                scenario.topology,
+                state.plan.tables(include_failover=False),
+                pairs=scenario.pairs,
+            )
+            state.failover_recomputed = True
+            recomputed = True
         activation = activate_paths(
             scenario.topology,
             scenario.power_model,
-            plan,
+            state.plan,
             matrix,
-            utilisation_threshold=threshold,
+            utilisation_threshold=state.threshold,
+            include_failover=view.has_failures,
+            failed_links=set(view.unusable_links()) if view.has_failures else None,
         )
-        power.append(activation.power_percent)
-        utilisation.append(activation.max_utilisation)
-        activations.append(activation)
-    # The plan is computed once, offline: a REsPoNse replay never recomputes.
-    return SchemeOutcome(
-        power_percent=power,
-        recomputations=0,
-        max_utilisation=utilisation,
-        details={"plan": plan, "activations": activations},
-    )
+        state.activations.append(activation)
+        return IntervalOutcome(
+            power_percent=activation.power_percent,
+            max_utilisation=activation.max_utilisation,
+            recomputed=recomputed,
+        )
+
+    def finish(self, state: _ResponseState) -> Dict[str, Any]:
+        return {"plan": state.plan, "activations": state.activations}
 
 
-register("scheme", "response")(_response_outcome)
+register("scheme", "response")(ResponseRuntime)
 
 
 @register("scheme", "response-lat")
-def _response_lat_scheme(scenario: "BuiltScenario", **params: Any) -> SchemeOutcome:
+class ResponseLatRuntime(ResponseRuntime):
     """REsPoNse with the latency-bounded always-on paths (REsPoNse-lat)."""
-    return _response_outcome(scenario, variant="response-lat", **params)
+
+    variant = "response-lat"
 
 
 @register("scheme", "response-ospf")
-def _response_ospf_scheme(scenario: "BuiltScenario", **params: Any) -> SchemeOutcome:
+class ResponseOspfRuntime(ResponseRuntime):
     """REsPoNse whose on-demand table is the plain OSPF table."""
-    return _response_outcome(scenario, variant="response-ospf", **params)
+
+    variant = "response-ospf"
 
 
 @register("scheme", "response-heuristic")
-def _response_heuristic_scheme(scenario: "BuiltScenario", **params: Any) -> SchemeOutcome:
+class ResponseHeuristicRuntime(ResponseRuntime):
     """REsPoNse with traffic-aware (GreenTE-computed) on-demand paths."""
-    return _response_outcome(scenario, variant="response-heuristic", **params)
+
+    variant = "response-heuristic"
 
 
 @register("scheme", "always-on")
-def _always_on_scheme(
-    scenario: "BuiltScenario",
-    k: int = 3,
-    latency_beta: Optional[float] = None,
-    always_on_method: str = "milp",
-) -> SchemeOutcome:
-    """Only the always-on subset, regardless of demand (its power floor)."""
-    always_on = compute_always_on(
-        scenario.topology,
-        scenario.power_model,
-        pairs=scenario.pairs,
-        config=AlwaysOnConfig(k=k, latency_beta=latency_beta, method=always_on_method),
-    )
-    percent = 100.0 * always_on.power_w / scenario.baseline_power_w
-    return SchemeOutcome(
-        power_percent=[percent for _ in scenario.trace.matrices()],
-        recomputations=0,
-        details={"always_on": always_on},
-    )
+class AlwaysOnRuntime(SchemeRuntime):
+    """Only the always-on subset, regardless of demand (its power floor).
+
+    The subset is static by definition, so the runtime emits a constant
+    series — also under events (the floor does not react; that is the
+    point of the comparison).
+    """
+
+    def __init__(
+        self,
+        k: int = 3,
+        latency_beta: Optional[float] = None,
+        always_on_method: str = "milp",
+    ) -> None:
+        self.config = AlwaysOnConfig(
+            k=k, latency_beta=latency_beta, method=always_on_method
+        )
+
+    def start(self, scenario: "BuiltScenario") -> Dict[str, Any]:
+        always_on = compute_always_on(
+            scenario.topology,
+            scenario.power_model,
+            pairs=scenario.pairs,
+            config=self.config,
+        )
+        return {
+            "always_on": always_on,
+            "percent": 100.0 * always_on.power_w / scenario.baseline_power_w,
+        }
+
+    def step(
+        self,
+        state: Dict[str, Any],
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        return IntervalOutcome(power_percent=state["percent"])
+
+    def finish(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        return {"always_on": state["always_on"]}
 
 
 def scenario_baseline_power(topology: Topology, power_model: PowerModel) -> float:

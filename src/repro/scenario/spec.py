@@ -172,6 +172,19 @@ class RoutingSpec(ComponentSpec):
     __slots__ = ()
 
 
+class EventSpec(ComponentSpec):
+    """Names a registered timeline event (``link-failure``, ``traffic-surge``, ...).
+
+    Events are the scenario's dynamic axis: each spec resolves (via
+    :meth:`~ComponentSpec.build`) to one or more
+    :class:`~repro.scenario.timeline.TimelineEvent` objects that the
+    timeline engine merges with the trace intervals.
+    """
+
+    kind = "event"
+    __slots__ = ()
+
+
 class SchemeSpec(ComponentSpec):
     """Names a registered evaluation scheme (``response``, ``elastictree``, ...).
 
@@ -217,6 +230,8 @@ class ScenarioSpec:
         schemes: Evaluation schemes compared on the same stack, in order.
         routing: Optional baseline routing-table builder exposed to schemes
             and drivers (e.g. OSPF-InvCap for latency comparisons).
+        events: Dynamic mid-run events (failures, repairs, traffic surges)
+            merged with the trace by the timeline engine, in order.
         utilisation_threshold: Link-utilisation SLO used by activation-based
             schemes unless a scheme overrides it in its own params.
         name: Human-readable scenario name (also the default result name).
@@ -227,11 +242,13 @@ class ScenarioSpec:
     power: PowerSpec
     schemes: Tuple[SchemeSpec, ...] = ()
     routing: Optional[RoutingSpec] = None
+    events: Tuple[EventSpec, ...] = ()
     utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD
     name: str = "scenario"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "events", tuple(self.events))
         labels = [scheme.label for scheme in self.schemes]
         if len(set(labels)) != len(labels):
             raise ConfigurationError(f"scheme labels are not unique: {labels}")
@@ -250,6 +267,8 @@ class ScenarioSpec:
             self.routing.validate()
         for scheme in self.schemes:
             scheme.validate()
+        for event in self.events:
+            event.validate()
         return self
 
     def to_dict(self) -> Dict[str, Any]:
@@ -264,6 +283,9 @@ class ScenarioSpec:
         }
         if self.routing is not None:
             data["routing"] = self.routing.to_dict()
+        if self.events:
+            # Omitted when empty so event-free specs keep a stable dict shape.
+            data["events"] = [event.to_dict() for event in self.events]
         return data
 
     @classmethod
@@ -283,6 +305,7 @@ class ScenarioSpec:
             "power",
             "routing",
             "schemes",
+            "events",
             "utilisation_threshold",
         }
         if unknown:
@@ -296,6 +319,9 @@ class ScenarioSpec:
             ),
             routing=(
                 RoutingSpec.from_dict(data["routing"]) if data.get("routing") else None
+            ),
+            events=tuple(
+                EventSpec.from_dict(event) for event in data.get("events", ())
             ),
             utilisation_threshold=float(
                 data.get("utilisation_threshold", DEFAULT_UTILISATION_THRESHOLD)
@@ -338,6 +364,12 @@ class ScenarioSpec:
             self, schemes=tuple(schemes), name=name if name is not None else self.name
         )
 
+    def with_events(self, *events: EventSpec, name: Optional[str] = None) -> "ScenarioSpec":
+        """A copy replaying the same stack under different dynamic events."""
+        return replace(
+            self, events=tuple(events), name=name if name is not None else self.name
+        )
+
     def scheme_labels(self) -> List[str]:
         """The result-series labels, in scheme order."""
         return [scheme.label for scheme in self.schemes]
@@ -351,6 +383,7 @@ __all__ = [
     "TrafficSpec",
     "PowerSpec",
     "RoutingSpec",
+    "EventSpec",
     "SchemeSpec",
     "ScenarioSpec",
     "is_registered",

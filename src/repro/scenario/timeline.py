@@ -1,0 +1,695 @@
+"""The event-driven timeline engine.
+
+The replay loop used to be monolithic: every scheme rebuilt its
+routing/solver state from scratch for each trace interval and nothing could
+change mid-run.  This module replaces it with a **stateful timeline**:
+
+* a :class:`Timeline` merges the trace's intervals with the scenario's
+  dynamic :class:`~repro.scenario.spec.EventSpec` axis — link/node failures
+  and repairs (driven through
+  :meth:`~repro.simulator.failures.FailureSchedule.due`, so interval-edge
+  events fire exactly once) plus traffic surges — into a sequence of
+  :class:`TimelineStep` objects, each carrying the interval's (possibly
+  surged) matrix and the failure-adjusted
+  :class:`~repro.simulator.failures.TopologyView`;
+* every scheme runs as a :class:`SchemeRuntime` — ``start(scenario)``
+  builds long-lived state once (REsPoNse plans, candidate-path caches),
+  ``step(state, t, matrix, view)`` advances one interval incrementally and
+  returns an :class:`IntervalOutcome`;
+* :func:`run_timeline` drives each runtime over the steps, times every step
+  (the recomputation-latency proxy) and assembles per-event reaction
+  records.
+
+Event-free timelines are bit-identical to the pre-timeline replay: runtimes
+only *reuse* state (precomputed plans, cached candidates, unchanged-input
+memoisation), they never change what is computed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import ConfigurationError
+from ..simulator.failures import (
+    FailureSchedule,
+    LinkEvent,
+    NodeEvent,
+    TopologyView,
+)
+from ..topology.base import link_key
+from ..traffic.matrix import Pair, TrafficMatrix
+from .registry import register, resolve
+from .spec import EventSpec, SchemeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..topology.base import Topology
+    from .engine import BuiltScenario
+
+
+# --------------------------------------------------------------------- #
+# Timeline events
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TopologyChange:
+    """A scheduled failure or repair of a link or node.
+
+    Attributes:
+        time_s: When the change takes effect (trace wall-clock seconds).
+        element: ``"link"`` or ``"node"``.
+        action: ``"fail"`` or ``"repair"``.
+        target: ``(u, v)`` for a link, ``(node,)`` for a node.
+    """
+
+    time_s: float
+    element: str
+    action: str
+    target: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.element not in ("link", "node"):
+            raise ConfigurationError(
+                f"topology change element must be 'link' or 'node', got {self.element!r}"
+            )
+        if self.action not in ("fail", "repair"):
+            raise ConfigurationError(
+                f"topology change action must be 'fail' or 'repair', got {self.action!r}"
+            )
+
+    @property
+    def kind(self) -> str:
+        """The registry-style event kind, e.g. ``"link-failure"``."""
+        suffix = "failure" if self.action == "fail" else "repair"
+        return f"{self.element}-{suffix}"
+
+    def to_scheduled(self) -> Union[LinkEvent, NodeEvent]:
+        """The simulator-schedule form of this change."""
+        if self.element == "link":
+            u, v = self.target
+            return LinkEvent(self.time_s, (u, v), self.action)
+        return NodeEvent(self.time_s, self.target[0], self.action)
+
+    def record(self) -> Dict[str, Any]:
+        """A JSON-ready description used in results and reaction metrics."""
+        data: Dict[str, Any] = {"time_s": self.time_s, "kind": self.kind}
+        if self.element == "link":
+            data["link"] = list(self.target)
+        else:
+            data["node"] = self.target[0]
+        return data
+
+
+@dataclass(frozen=True)
+class TrafficSurge:
+    """A demand multiplier active over a time window.
+
+    Attributes:
+        start_s: First instant the surge applies.
+        factor: Multiplier applied to the demand of the affected pairs.
+        end_s: First instant the surge no longer applies (``None`` = until
+            the end of the trace).
+        pairs: Pairs the surge affects (``None`` = every pair).
+    """
+
+    start_s: float
+    factor: float
+    end_s: Optional[float] = None
+    pairs: Optional[Tuple[Pair, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 0:
+            raise ConfigurationError(
+                f"surge factor must be non-negative, got {self.factor}"
+            )
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"surge window is empty: start={self.start_s}, end={self.end_s}"
+            )
+
+    @property
+    def time_s(self) -> float:
+        """When the surge begins (for merged-stream ordering)."""
+        return self.start_s
+
+    @property
+    def kind(self) -> str:
+        return "traffic-surge"
+
+    def active_at(self, time_s: float) -> bool:
+        """Whether the surge applies at *time_s*."""
+        if time_s < self.start_s:
+            return False
+        return self.end_s is None or time_s < self.end_s
+
+    def apply(self, matrix: TrafficMatrix) -> TrafficMatrix:
+        """The matrix with the surge's multiplier applied."""
+        if self.pairs is None:
+            return matrix.scaled(self.factor, name=f"{matrix.name}-surge")
+        affected = set(self.pairs)
+        demands = {
+            pair: demand * self.factor if pair in affected else demand
+            for pair, demand in matrix.items()
+        }
+        return TrafficMatrix(demands, name=f"{matrix.name}-surge")
+
+    def record(self) -> Dict[str, Any]:
+        """A JSON-ready description used in results and reaction metrics."""
+        data: Dict[str, Any] = {
+            "time_s": self.start_s,
+            "kind": self.kind,
+            "factor": self.factor,
+        }
+        if self.end_s is not None:
+            data["end_s"] = self.end_s
+        if self.pairs is not None:
+            data["pairs"] = [list(pair) for pair in self.pairs]
+        return data
+
+
+TimelineEvent = Union[TopologyChange, TrafficSurge]
+
+
+# --------------------------------------------------------------------- #
+# Registered event kinds (the ``events`` axis of a ScenarioSpec)
+# --------------------------------------------------------------------- #
+
+
+def _as_link(link: Sequence[str]) -> Tuple[str, str]:
+    if not isinstance(link, (list, tuple)) or len(link) != 2:
+        raise ConfigurationError(
+            f"a link target must be a [u, v] endpoint pair, got {link!r}"
+        )
+    return (str(link[0]), str(link[1]))
+
+
+@register("event", "link-failure")
+def _link_failure_event(
+    time_s: float, link: Sequence[str], repair_s: Optional[float] = None
+) -> List[TopologyChange]:
+    """Fail one link at ``time_s`` (optionally auto-repairing at ``repair_s``)."""
+    events = [TopologyChange(float(time_s), "link", "fail", _as_link(link))]
+    if repair_s is not None:
+        if repair_s <= time_s:
+            raise ConfigurationError(
+                f"repair_s ({repair_s}) must come after time_s ({time_s})"
+            )
+        events.append(TopologyChange(float(repair_s), "link", "repair", _as_link(link)))
+    return events
+
+
+@register("event", "link-repair")
+def _link_repair_event(time_s: float, link: Sequence[str]) -> TopologyChange:
+    """Repair one previously failed link at ``time_s``."""
+    return TopologyChange(float(time_s), "link", "repair", _as_link(link))
+
+
+@register("event", "node-failure")
+def _node_failure_event(
+    time_s: float, node: str, repair_s: Optional[float] = None
+) -> List[TopologyChange]:
+    """Fail one node (and every incident link) at ``time_s``."""
+    events = [TopologyChange(float(time_s), "node", "fail", (str(node),))]
+    if repair_s is not None:
+        if repair_s <= time_s:
+            raise ConfigurationError(
+                f"repair_s ({repair_s}) must come after time_s ({time_s})"
+            )
+        events.append(TopologyChange(float(repair_s), "node", "repair", (str(node),)))
+    return events
+
+
+@register("event", "node-repair")
+def _node_repair_event(time_s: float, node: str) -> TopologyChange:
+    """Repair one previously failed node at ``time_s``."""
+    return TopologyChange(float(time_s), "node", "repair", (str(node),))
+
+
+@register("event", "traffic-surge")
+def _traffic_surge_event(
+    start_s: float,
+    factor: float = 2.0,
+    end_s: Optional[float] = None,
+    pairs: Optional[Sequence[Sequence[str]]] = None,
+) -> TrafficSurge:
+    """Multiply demand by ``factor`` over ``[start_s, end_s)`` (all pairs by default)."""
+    selected = (
+        None
+        if pairs is None
+        else tuple((str(origin), str(destination)) for origin, destination in pairs)
+    )
+    return TrafficSurge(
+        float(start_s),
+        float(factor),
+        end_s=None if end_s is None else float(end_s),
+        pairs=selected,
+    )
+
+
+def resolve_events(specs: Sequence[EventSpec]) -> List[TimelineEvent]:
+    """Build every event spec, flattening builders that return several events."""
+    events: List[TimelineEvent] = []
+    for spec in specs:
+        built = spec.build()
+        items = built if isinstance(built, (list, tuple)) else [built]
+        for item in items:
+            if not isinstance(item, (TopologyChange, TrafficSurge)):
+                raise ConfigurationError(
+                    f"event component {spec.name!r} must build TopologyChange/"
+                    f"TrafficSurge events, got {type(item).__qualname__}"
+                )
+            events.append(item)
+    return sorted(events, key=lambda event: event.time_s)
+
+
+def failure_schedule(
+    events: Sequence[Union[EventSpec, TimelineEvent]],
+) -> FailureSchedule:
+    """The flow-level simulator's :class:`FailureSchedule` for these events.
+
+    Accepts raw :class:`EventSpec` entries (resolved through the registry)
+    or already-built timeline events; traffic surges have no simulator
+    equivalent and are skipped.  This is how simulator-based drivers (e.g.
+    Figure 7) source their failures from the scenario's events axis.
+    """
+    resolved: List[TimelineEvent] = []
+    specs = [event for event in events if isinstance(event, EventSpec)]
+    resolved.extend(resolve_events(specs))
+    resolved.extend(
+        event for event in events if isinstance(event, (TopologyChange, TrafficSurge))
+    )
+    schedule = FailureSchedule()
+    for event in sorted(resolved, key=lambda event: event.time_s):
+        if isinstance(event, TopologyChange):
+            schedule.add(event.to_scheduled())
+    return schedule
+
+
+# --------------------------------------------------------------------- #
+# The merged timeline
+# --------------------------------------------------------------------- #
+
+
+def _validate_target(topology: "Topology", event: TopologyChange) -> None:
+    """Reject topology events naming elements the topology does not have.
+
+    Validation is eager — it covers every declared event, including ones
+    scheduled past the end of the trace that would otherwise never fire
+    (a typoed target must not silently turn a failure run into an
+    event-free one).
+    """
+    if event.element == "link":
+        if not topology.has_link(*event.target):
+            raise ConfigurationError(
+                f"{event.kind} event targets unknown link "
+                f"{list(event.target)} of topology {topology.name!r}"
+            )
+    elif not topology.has_node(event.target[0]):
+        raise ConfigurationError(
+            f"{event.kind} event targets unknown node "
+            f"{event.target[0]!r} of topology {topology.name!r}"
+        )
+
+
+@dataclass
+class TimelineStep:
+    """One interval of the merged trace/event stream.
+
+    Attributes:
+        index: Interval index within the trace.
+        time_s: Interval start time.
+        matrix: The interval's demand matrix, surges applied.
+        view: The failure-adjusted topology in effect during the interval.
+        fired: JSON-ready records of the events that took effect at this
+            step (empty for ordinary intervals).
+    """
+
+    index: int
+    time_s: float
+    matrix: TrafficMatrix
+    view: TopologyView
+    fired: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class Timeline:
+    """The merged stream of trace intervals and dynamic events."""
+
+    def __init__(self, steps: List[TimelineStep], events: List[TimelineEvent]):
+        self.steps = steps
+        self.events = events
+
+    @property
+    def has_events(self) -> bool:
+        """Whether the scenario declares any dynamic events at all."""
+        return bool(self.events)
+
+    def fired_records(self) -> List[Dict[str, Any]]:
+        """Every event that actually took effect, in firing order."""
+        return [dict(record) for step in self.steps for record in step.fired]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def build_timeline(topology: "Topology", trace, events: Sequence[EventSpec]) -> Timeline:
+    """Merge a trace with an event axis into concrete timeline steps.
+
+    Topology events are driven through
+    :meth:`~repro.simulator.failures.FailureSchedule.due` over the
+    half-open windows between consecutive interval starts (the first window
+    opens at ``-inf`` so events at or before the trace start apply to the
+    first interval).  Views are cached by failure state, so repeated states
+    share one :class:`TopologyView` object — and therefore one derived
+    topology, keeping per-topology solver caches warm.
+    """
+    resolved = resolve_events(events)
+    surges = [event for event in resolved if isinstance(event, TrafficSurge)]
+    schedule = FailureSchedule()
+    for event in resolved:
+        if isinstance(event, TopologyChange):
+            _validate_target(topology, event)
+            schedule.add(event.to_scheduled())
+    change_by_schedule = {
+        event.to_scheduled(): event
+        for event in resolved
+        if isinstance(event, TopologyChange)
+    }
+
+    steps: List[TimelineStep] = []
+    failed_links: set = set()
+    failed_nodes: set = set()
+    views: Dict[Tuple[frozenset, frozenset], TopologyView] = {}
+    previous_t = -math.inf
+    active_surges: set = set()
+    for index, interval in enumerate(trace):
+        t = interval.start_s
+        fired: List[Dict[str, Any]] = []
+        for scheduled in schedule.due(previous_t, t):
+            change = change_by_schedule[scheduled]
+            if isinstance(scheduled, LinkEvent):
+                key = link_key(*scheduled.link)
+                if scheduled.kind == "fail":
+                    failed_links.add(key)
+                else:
+                    failed_links.discard(key)
+            else:
+                if scheduled.kind == "fail":
+                    failed_nodes.add(scheduled.node)
+                else:
+                    failed_nodes.discard(scheduled.node)
+            fired.append(change.record())
+
+        matrix = interval.matrix
+        for surge in surges:
+            if surge.active_at(t):
+                matrix = surge.apply(matrix)
+                if surge not in active_surges:
+                    active_surges.add(surge)
+                    fired.append(surge.record())
+            else:
+                active_surges.discard(surge)
+
+        state_key = (frozenset(failed_links), frozenset(failed_nodes))
+        if state_key not in views:
+            views[state_key] = TopologyView(
+                topology, failed_links=state_key[0], failed_nodes=state_key[1]
+            )
+        steps.append(
+            TimelineStep(
+                index=index,
+                time_s=t,
+                matrix=matrix,
+                view=views[state_key],
+                fired=fired,
+            )
+        )
+        previous_t = t
+    return Timeline(steps, resolved)
+
+
+# --------------------------------------------------------------------- #
+# Scheme runtimes
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class IntervalOutcome:
+    """What one scheme produced for one timeline step.
+
+    Attributes:
+        power_percent: Power of the interval's active subset (% of the
+            fully powered network).
+        max_utilisation: Largest arc utilisation, where the scheme knows it.
+        recomputed: Whether the scheme changed its active-element
+            configuration relative to the previous interval (always
+            ``False`` on the first step).
+        compute_seconds: Wall-clock cost of the step — the recomputation
+            latency proxy.  Filled in by :func:`run_timeline`.
+    """
+
+    power_percent: float
+    max_utilisation: Optional[float] = None
+    recomputed: bool = False
+    compute_seconds: float = 0.0
+
+
+class SchemeRuntime:
+    """Incremental evaluation protocol for schemes on the timeline.
+
+    ``start(scenario)`` builds the runtime's long-lived state once —
+    precomputed plans, candidate-path caches, warm-start memory.
+    ``step(state, time_s, matrix, view)`` advances one interval against the
+    failure-adjusted :class:`~repro.simulator.failures.TopologyView` and
+    returns an :class:`IntervalOutcome`.  ``finish(state)`` returns the
+    scheme's ``details`` dict (per-interval solutions, plans, activations)
+    for drivers that need more than the uniform series.
+
+    Set :attr:`event_capable` to ``False`` for runtimes that cannot react
+    to dynamic events (the timeline refuses to run them on an eventful
+    scenario instead of silently ignoring the events).
+    """
+
+    #: Whether the runtime understands mid-run events.
+    event_capable = True
+
+    def start(self, scenario: "BuiltScenario") -> Any:
+        """Build and return the runtime's long-lived state."""
+        raise NotImplementedError
+
+    def step(
+        self,
+        state: Any,
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        """Advance one interval; must be callable once per timeline step."""
+        raise NotImplementedError
+
+    def finish(self, state: Any) -> Dict[str, Any]:
+        """The scheme's ``details`` after the replay (default: none)."""
+        return {}
+
+    def recomputations(self, state: Any, outcomes: Sequence[IntervalOutcome]) -> int:
+        """Total recomputation count (default: sum of per-step flags)."""
+        return sum(1 for outcome in outcomes if outcome.recomputed)
+
+
+class FunctionRuntime(SchemeRuntime):
+    """Adapter wrapping a legacy ``fn(scenario, **params) -> SchemeOutcome``.
+
+    The whole legacy computation runs in :meth:`start`; steps serve the
+    precomputed series.  Legacy schemes know nothing about events, so the
+    adapter declares itself not event-capable.
+    """
+
+    event_capable = False
+
+    def __init__(self, function, params: Mapping[str, Any]):
+        self._function = function
+        self._params = dict(params)
+
+    def start(self, scenario: "BuiltScenario") -> Dict[str, Any]:
+        outcome = self._function(scenario, **self._params)
+        if not hasattr(outcome, "power_percent"):
+            raise ConfigurationError(
+                f"scheme component {self._function!r} must return a SchemeOutcome, "
+                f"got {type(outcome).__qualname__}"
+            )
+        expected = len(scenario.trace)
+        if len(outcome.power_percent) != expected:
+            raise ConfigurationError(
+                f"scheme returned {len(outcome.power_percent)} intervals "
+                f"for a {expected}-interval trace"
+            )
+        return {"outcome": outcome, "index": 0}
+
+    def step(
+        self,
+        state: Dict[str, Any],
+        time_s: float,
+        matrix: TrafficMatrix,
+        view: TopologyView,
+    ) -> IntervalOutcome:
+        outcome = state["outcome"]
+        index = state["index"]
+        state["index"] = index + 1
+        utilisation = (
+            outcome.max_utilisation[index]
+            if index < len(outcome.max_utilisation)
+            else None
+        )
+        return IntervalOutcome(
+            power_percent=outcome.power_percent[index],
+            max_utilisation=utilisation,
+        )
+
+    def finish(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        return dict(state["outcome"].details)
+
+    def recomputations(self, state, outcomes) -> int:
+        # The legacy outcome carries the authoritative total.
+        return int(state["outcome"].recomputations)
+
+
+def as_runtime(component: Any, params: Mapping[str, Any]) -> SchemeRuntime:
+    """Instantiate the runtime behind a registered scheme component.
+
+    A component registered as a :class:`SchemeRuntime` subclass is
+    instantiated with the scheme parameters; any other callable is treated
+    as a legacy outcome function and wrapped in :class:`FunctionRuntime`.
+    """
+    if isinstance(component, type) and issubclass(component, SchemeRuntime):
+        return component(**params)
+    if callable(component):
+        return FunctionRuntime(component, params)
+    raise ConfigurationError(
+        f"a scheme component must be a SchemeRuntime subclass or a callable, "
+        f"got {type(component).__qualname__}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Driving the timeline
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class SchemeRun:
+    """One scheme's full pass over the timeline."""
+
+    label: str
+    outcomes: List[IntervalOutcome]
+    details: Dict[str, Any]
+    recomputations: int
+
+    def power_percent(self) -> List[float]:
+        """The per-interval power series."""
+        return [outcome.power_percent for outcome in self.outcomes]
+
+    def max_utilisation(self) -> List[float]:
+        """The utilisation series (empty when the scheme never tracked it)."""
+        if all(outcome.max_utilisation is None for outcome in self.outcomes):
+            return []
+        return [
+            outcome.max_utilisation if outcome.max_utilisation is not None else 0.0
+            for outcome in self.outcomes
+        ]
+
+    def compute_seconds(self) -> List[float]:
+        """Per-interval step cost (the recomputation-latency proxy)."""
+        return [outcome.compute_seconds for outcome in self.outcomes]
+
+
+@dataclass
+class TimelineRun:
+    """The result of driving every scheme over one timeline."""
+
+    times_s: List[float]
+    events: List[Dict[str, Any]]
+    schemes: Dict[str, SchemeRun]
+    reaction: Dict[str, List[Dict[str, Any]]]
+
+
+def run_timeline(
+    built: "BuiltScenario",
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+) -> TimelineRun:
+    """Drive every scheme of a built scenario over its merged timeline.
+
+    Args:
+        built: The built scenario (its spec supplies trace, events and —
+            unless *schemes* overrides them — the scheme list).
+        schemes: Optional explicit scheme specs to evaluate instead of the
+            spec's own.
+
+    Returns:
+        The :class:`TimelineRun` with per-scheme series, fired events and
+        per-event reaction records.
+    """
+    timeline = build_timeline(built.topology, built.trace, built.spec.events)
+    scheme_specs = list(schemes if schemes is not None else built.spec.schemes)
+    threshold = built.spec.utilisation_threshold
+
+    runs: Dict[str, SchemeRun] = {}
+    reaction: Dict[str, List[Dict[str, Any]]] = {}
+    for scheme in scheme_specs:
+        component = resolve("scheme", scheme.name)
+        runtime = as_runtime(component, scheme.kwargs())
+        if timeline.has_events and not runtime.event_capable:
+            raise ConfigurationError(
+                f"scheme {scheme.label!r} does not support dynamic events; "
+                "implement it as a SchemeRuntime to use the events axis"
+            )
+        state = runtime.start(built)
+        outcomes: List[IntervalOutcome] = []
+        records: List[Dict[str, Any]] = []
+        for step in timeline.steps:
+            started = time.perf_counter()
+            outcome = runtime.step(state, step.time_s, step.matrix, step.view)
+            outcome.compute_seconds = time.perf_counter() - started
+            outcomes.append(outcome)
+            for fired in step.fired:
+                violation = (
+                    None
+                    if outcome.max_utilisation is None
+                    else bool(outcome.max_utilisation > threshold + 1e-9)
+                )
+                records.append(
+                    {
+                        **fired,
+                        "interval_index": step.index,
+                        "interval_s": step.time_s,
+                        "recomputed": outcome.recomputed,
+                        "compute_seconds": outcome.compute_seconds,
+                        "power_percent": outcome.power_percent,
+                        "max_utilisation": outcome.max_utilisation,
+                        "violation": violation,
+                    }
+                )
+        runs[scheme.label] = SchemeRun(
+            label=scheme.label,
+            outcomes=outcomes,
+            details=runtime.finish(state),
+            recomputations=runtime.recomputations(state, outcomes),
+        )
+        reaction[scheme.label] = records
+    return TimelineRun(
+        times_s=built.trace.timestamps(),
+        events=timeline.fired_records(),
+        schemes=runs,
+        reaction=reaction,
+    )

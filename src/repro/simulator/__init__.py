@@ -10,7 +10,7 @@ equivalence tests and scaling benchmarks compare against.
 
 from .arcs import ArcTable, CompiledPath
 from .engine import Controller, Sample, SimulationEngine, SimulationResult
-from .failures import FailureSchedule, LinkEvent
+from .failures import FailureSchedule, LinkEvent, NodeEvent, TopologyView
 from .fairness import build_incidence, max_min_fair_rates
 from .flows import (
     DemandProfile,
@@ -32,6 +32,8 @@ __all__ = [
     "SimulationResult",
     "FailureSchedule",
     "LinkEvent",
+    "NodeEvent",
+    "TopologyView",
     "build_incidence",
     "max_min_fair_rates",
     "DemandProfile",

@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Protocol, Tuple
 import numpy as np
 
 from ..exceptions import SimulationError
-from .failures import FailureSchedule
+from ..topology.base import link_key
+from .failures import FailureSchedule, NodeEvent
 from .flows import Flow
 from .links import NUM_LINK_STATES, LinkState
 from .network import SimulatedNetwork
@@ -120,6 +121,19 @@ class SimulationEngine:
         flow_ids = [flow.flow_id for flow in flows]
         if len(set(flow_ids)) != len(flow_ids):
             raise SimulationError("flow identifiers must be unique")
+        # Current failure causes, maintained while applying scheduled events:
+        # a link stays failed as long as any cause (its own failure or a
+        # failed endpoint) is still in effect.
+        self._failed_links: set = set()
+        self._failed_nodes: set = set()
+
+    def _link_still_failed(self, u: str, v: str) -> bool:
+        """Whether some still-active failure keeps link ``(u, v)`` down."""
+        return (
+            link_key(u, v) in self._failed_links
+            or u in self._failed_nodes
+            or v in self._failed_nodes
+        )
 
     def run(self, duration_s: float, start_s: float = 0.0) -> SimulationResult:
         """Run the simulation for *duration_s* seconds of simulated time."""
@@ -130,17 +144,40 @@ class SimulationEngine:
         end = start_s + duration_s
         previous = now - self.time_step_s
         last_sample_at = -float("inf")
+        self._failed_links.clear()
+        self._failed_nodes.clear()
 
         self.controller.initialise(self.network, self.flows, now)
 
         while now <= end + 1e-12:
-            # 1. Scheduled failures and repairs.
+            # 1. Scheduled failures and repairs.  Link- and node-scoped
+            # failures overlap (a node takes its incident links down), so
+            # the engine tracks both causes and only repairs a link once no
+            # cause keeps it failed.
             for event in self.failures.due(previous, now):
-                u, v = event.link
-                if event.kind == "fail":
-                    self.network.fail_link(u, v)
+                if isinstance(event, NodeEvent):
+                    if event.kind == "fail":
+                        self._failed_nodes.add(event.node)
+                    else:
+                        self._failed_nodes.discard(event.node)
+                    affected = [
+                        link.endpoints
+                        for link in self.network.topology.incident_links(event.node)
+                    ]
                 else:
-                    self.network.repair_link(u, v)
+                    key = link_key(*event.link)
+                    if event.kind == "fail":
+                        self._failed_links.add(key)
+                    else:
+                        self._failed_links.discard(key)
+                    affected = [event.link]
+                for u, v in affected:
+                    if event.kind == "fail":
+                        self.network.fail_link(u, v)
+                    elif self._link_still_failed(u, v):
+                        continue  # another failure still holds the link down
+                    else:
+                        self.network.repair_link(u, v)
 
             # 2. Complete pending wake-ups.
             self.network.advance(now)

@@ -1,11 +1,31 @@
-"""Failure injection for the flow-level simulator."""
+"""Failure injection and failure-aware topology views.
+
+Two layers consume this module:
+
+* the flow-level :class:`~repro.simulator.engine.SimulationEngine` applies a
+  :class:`FailureSchedule`'s link/node events step by step, and
+* the scenario :mod:`~repro.scenario.timeline` derives a
+  :class:`TopologyView` per trace interval — the failure-adjusted topology a
+  :class:`~repro.scenario.timeline.SchemeRuntime` steps against.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Tuple, Union
 
 from ..exceptions import SimulationError
+from ..topology.base import link_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..routing.paths import Path
+    from ..topology.base import Topology
+
+#: Slack applied to both window edges of :meth:`FailureSchedule.due`.  The
+#: same shift on both bounds keeps consecutive windows disjoint: an event can
+#: drift past an interval edge by accumulated float error and still fire, but
+#: it can never fire twice.
+_EDGE_TOLERANCE_S = 1e-12
 
 
 @dataclass(frozen=True)
@@ -27,11 +47,36 @@ class LinkEvent:
             raise SimulationError(f"unknown link event kind: {self.kind!r}")
 
 
+@dataclass(frozen=True)
+class NodeEvent:
+    """A scheduled node failure or repair.
+
+    A failed node takes every incident link down with it (constraint (1) of
+    the paper: links attached to a powered-off router are inactive).
+
+    Attributes:
+        time_s: Simulation time at which the event takes effect.
+        node: The failing/recovering node.
+        kind: ``"fail"`` or ``"repair"``.
+    """
+
+    time_s: float
+    node: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fail", "repair"):
+            raise SimulationError(f"unknown node event kind: {self.kind!r}")
+
+
+ScheduledEvent = Union[LinkEvent, NodeEvent]
+
+
 class FailureSchedule:
-    """An ordered collection of link failure/repair events."""
+    """An ordered collection of link/node failure and repair events."""
 
     def __init__(self) -> None:
-        self._events: List[LinkEvent] = []
+        self._events: List[ScheduledEvent] = []
 
     def fail_at(self, time_s: float, u: str, v: str) -> "FailureSchedule":
         """Schedule a failure of link ``(u, v)`` at *time_s* (chainable)."""
@@ -43,17 +88,145 @@ class FailureSchedule:
         self._events.append(LinkEvent(time_s, (u, v), "repair"))
         return self
 
-    def events(self) -> List[LinkEvent]:
-        """All events sorted by time."""
+    def fail_node_at(self, time_s: float, node: str) -> "FailureSchedule":
+        """Schedule a failure of *node* (and its links) at *time_s*."""
+        self._events.append(NodeEvent(time_s, node, "fail"))
+        return self
+
+    def repair_node_at(self, time_s: float, node: str) -> "FailureSchedule":
+        """Schedule a repair of *node* at *time_s* (chainable)."""
+        self._events.append(NodeEvent(time_s, node, "repair"))
+        return self
+
+    def add(self, event: ScheduledEvent) -> "FailureSchedule":
+        """Append an already-built event (chainable)."""
+        if not isinstance(event, (LinkEvent, NodeEvent)):
+            raise SimulationError(
+                f"expected a LinkEvent or NodeEvent, got {type(event).__qualname__}"
+            )
+        self._events.append(event)
+        return self
+
+    def events(self) -> List[ScheduledEvent]:
+        """All events sorted by time (stable for simultaneous events)."""
         return sorted(self._events, key=lambda event: event.time_s)
 
-    def due(self, previous_s: float, now_s: float) -> List[LinkEvent]:
-        """Events whose time falls in the half-open interval ``(previous, now]``."""
+    def due(self, previous_s: float, now_s: float) -> List[ScheduledEvent]:
+        """Events whose time falls in the half-open interval ``(previous, now]``.
+
+        Both edges carry the same float-drift tolerance, so driving the
+        schedule with contiguous windows ``(t0, t1], (t1, t2], ...`` delivers
+        an event that lands exactly on a shared edge (or within the tolerance
+        of it) exactly once — in the earlier window, never in both.
+        """
         return [
             event
             for event in self.events()
-            if previous_s < event.time_s <= now_s + 1e-12
+            if previous_s + _EDGE_TOLERANCE_S
+            < event.time_s
+            <= now_s + _EDGE_TOLERANCE_S
         ]
 
     def __len__(self) -> int:
         return len(self._events)
+
+
+class TopologyView:
+    """A base topology seen through a set of failed links and nodes.
+
+    The view is what scheme runtimes step against on the scenario timeline:
+    it exposes the failure state declaratively (``failed_links``,
+    ``failed_nodes``, :meth:`unusable_links`) and materialises the surviving
+    :attr:`topology` lazily.  When nothing is failed, :attr:`topology` IS the
+    base topology object — object identity is what keeps per-topology caches
+    (candidate paths, compiled routing state) warm across event-free steps.
+    """
+
+    __slots__ = ("base", "failed_links", "failed_nodes", "_active", "_unusable")
+
+    def __init__(
+        self,
+        base: "Topology",
+        failed_links: Iterable[Tuple[str, str]] = (),
+        failed_nodes: Iterable[str] = (),
+    ) -> None:
+        self.base = base
+        self.failed_links: FrozenSet[Tuple[str, str]] = frozenset(
+            link_key(u, v) for (u, v) in failed_links
+        )
+        self.failed_nodes: FrozenSet[str] = frozenset(failed_nodes)
+        self._active: "Topology | None" = None
+        self._unusable: FrozenSet[Tuple[str, str]] | None = None
+
+    @property
+    def has_failures(self) -> bool:
+        """Whether any element is currently failed."""
+        return bool(self.failed_links) or bool(self.failed_nodes)
+
+    def unusable_links(self) -> FrozenSet[Tuple[str, str]]:
+        """Canonical keys of every link out of service: failed links plus
+        links incident to failed nodes."""
+        if self._unusable is None:
+            unusable = set(self.failed_links)
+            for node in self.failed_nodes:
+                if self.base.has_node(node):
+                    for link in self.base.incident_links(node):
+                        unusable.add(link.key)
+            self._unusable = frozenset(unusable)
+        return self._unusable
+
+    @property
+    def topology(self) -> "Topology":
+        """The surviving topology (the base object itself when nothing failed)."""
+        if not self.has_failures:
+            return self.base
+        if self._active is None:
+            active_nodes = [
+                name for name in self.base.nodes() if name not in self.failed_nodes
+            ]
+            unusable = self.unusable_links()
+            active_links = [
+                key for key in self.base.link_keys() if key not in unusable
+            ]
+            self._active = self.base.subgraph(
+                active_nodes, active_links, name=f"{self.base.name}-degraded"
+            )
+        return self._active
+
+    def path_usable(self, path: "Path") -> bool:
+        """Whether every element of *path* survives the current failures."""
+        if not self.has_failures:
+            return True
+        if any(node in self.failed_nodes for node in path.nodes):
+            return False
+        unusable = self.unusable_links()
+        return not any(key in unusable for key in path.link_keys())
+
+    def connected_pairs(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> List[Tuple[str, str]]:
+        """The subset of *pairs* still connected in the surviving topology."""
+        selected = list(pairs)
+        if not self.has_failures:
+            return selected
+        import networkx as nx
+
+        graph = self.topology.to_undirected_networkx()
+        component: Dict[str, int] = {}
+        for index, nodes in enumerate(nx.connected_components(graph)):
+            for node in nodes:
+                component[node] = index
+        return [
+            (origin, destination)
+            for origin, destination in selected
+            if origin in component
+            and destination in component
+            and component[origin] == component[destination]
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopologyView(base={self.base.name!r}, "
+            f"failed_links={sorted(self.failed_links)}, "
+            f"failed_nodes={sorted(self.failed_nodes)})"
+        )

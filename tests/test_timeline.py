@@ -1,0 +1,494 @@
+"""Tests for the event-driven timeline engine and the events axis."""
+
+import json
+
+import pytest
+
+from repro.core.failover import compute_failover
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import main
+from repro.routing.paths import Path, RoutingTable
+from repro.scenario import (
+    EventSpec,
+    PowerSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    TrafficSpec,
+    build_scenario,
+    build_timeline,
+    failure_schedule,
+    register,
+    run_scenario,
+)
+from repro.scenario.schemes import SchemeOutcome, greente_replay
+from repro.simulator.failures import FailureSchedule, NodeEvent, TopologyView
+from repro.topology.base import Topology
+
+
+def line_topology(*names, capacity=1e9):
+    topo = Topology("line")
+    for name in names:
+        topo.add_node(name)
+    for u, v in zip(names, names[1:]):
+        topo.add_link(u, v, capacity_bps=capacity)
+    return topo
+
+
+def geant_failure_spec(**overrides):
+    """A small GEANT scenario with a mid-trace link failure."""
+    settings = dict(
+        name="geant-failure",
+        topology=TopologySpec("geant"),
+        traffic=TrafficSpec(
+            "gravity",
+            num_pairs=12,
+            num_endpoints=6,
+            seed=1,
+            calibrate=True,
+            levels=[0.25, 0.5, 1.0],
+        ),
+        power=PowerSpec("cisco"),
+        schemes=(SchemeSpec("response", num_paths=3, k=3), SchemeSpec("greente")),
+        events=(EventSpec("link-failure", time_s=900.0, link=["DE", "FR"]),),
+    )
+    settings.update(overrides)
+    return ScenarioSpec(**settings)
+
+
+# --------------------------------------------------------------------- #
+# FailureSchedule.due boundary semantics
+# --------------------------------------------------------------------- #
+
+
+def test_due_event_exactly_at_interval_edge_fires_once_never_twice():
+    schedule = FailureSchedule().fail_at(900.0, "a", "b")
+    windows = [(-float("inf"), 0.0), (0.0, 900.0), (900.0, 1800.0), (1800.0, 2700.0)]
+    fired = [len(schedule.due(prev, now)) for prev, now in windows]
+    assert fired == [0, 1, 0, 0]  # in the window it closes, once
+
+
+def test_due_event_within_drift_tolerance_of_edge_fires_once():
+    # An event nominally at an edge but drifted past it by accumulated float
+    # error must still fire exactly once across contiguous windows.
+    drifted = 900.0 + 5e-13
+    schedule = FailureSchedule().fail_at(drifted, "a", "b")
+    first = schedule.due(0.0, 900.0)
+    second = schedule.due(900.0, 1800.0)
+    assert len(first) + len(second) == 1
+    assert len(first) == 1  # tolerated as "at the 900s edge"
+
+
+def test_due_event_at_window_open_does_not_refire():
+    schedule = FailureSchedule().fail_at(900.0, "a", "b")
+    assert schedule.due(900.0, 1800.0) == []
+
+
+def test_node_repair_does_not_clobber_independent_link_failure(diamond, cisco_model):
+    from repro.simulator import LinkState, SimulatedNetwork, SimulationEngine
+
+    class _Idle:
+        def initialise(self, network, flows, now_s):
+            pass
+
+        def control(self, network, flows, now_s):
+            pass
+
+    network = SimulatedNetwork(diamond, cisco_model)
+    # Link a-b fails on its own at t=1; node a fails at t=2 and is repaired
+    # at t=3.  The node repair must NOT resurrect a-b (still failed on its
+    # own) while a's other incident links come back.
+    failures = (
+        FailureSchedule()
+        .fail_at(1.0, "a", "b")
+        .fail_node_at(2.0, "a")
+        .repair_node_at(3.0, "a")
+    )
+    engine = SimulationEngine(
+        network, [], _Idle(), time_step_s=0.5, failures=failures
+    )
+    engine.run(duration_s=4.0)
+    assert network.link("a", "b").state == LinkState.FAILED
+    assert network.link("a", "c").state == LinkState.ACTIVE
+    schedule = (
+        FailureSchedule()
+        .fail_at(2.0, "a", "b")
+        .fail_node_at(1.0, "c")
+        .repair_node_at(3.0, "c")
+    )
+    events = schedule.events()
+    assert [event.time_s for event in events] == [1.0, 2.0, 3.0]
+    assert isinstance(events[0], NodeEvent)
+    assert len(schedule) == 3
+
+
+# --------------------------------------------------------------------- #
+# TopologyView
+# --------------------------------------------------------------------- #
+
+
+def test_topology_view_without_failures_is_the_base_object():
+    topo = line_topology("a", "b", "c")
+    view = TopologyView(topo)
+    assert view.topology is topo  # identity keeps per-topology caches warm
+    assert not view.has_failures
+    assert view.connected_pairs([("a", "c")]) == [("a", "c")]
+
+
+def test_topology_view_failed_link_and_node():
+    topo = line_topology("a", "b", "c", "d")
+    view = TopologyView(topo, failed_links=[("c", "b")])
+    assert view.failed_links == {("b", "c")}  # canonicalised
+    assert not view.topology.has_link("b", "c")
+    assert view.connected_pairs([("a", "b"), ("a", "d")]) == [("a", "b")]
+    assert not view.path_usable(Path.of(["a", "b", "c"]))
+
+    node_view = TopologyView(topo, failed_nodes=["b"])
+    assert node_view.unusable_links() == {("a", "b"), ("b", "c")}
+    assert "b" not in node_view.topology.nodes()
+
+
+# --------------------------------------------------------------------- #
+# compute_failover under disconnection
+# --------------------------------------------------------------------- #
+
+
+def test_compute_failover_skips_disconnected_pairs():
+    topo = line_topology("a", "b", "c")
+    table = RoutingTable({("a", "c"): Path.of(["a", "b", "c"])}, name="always-on")
+    # On the intact line there is no disjoint alternative: the failover path
+    # is the least-overlapping one, i.e. the same line.
+    intact = compute_failover(topo, [table], pairs=[("a", "c")])
+    assert intact.get("a", "c") is not None
+
+    view = TopologyView(topo, failed_links=[("b", "c")])
+    degraded = compute_failover(view.topology, [table], pairs=[("a", "c")])
+    assert degraded.get("a", "c") is None  # disconnected pair skipped, no crash
+    assert degraded.pairs() == []
+
+
+# --------------------------------------------------------------------- #
+# Events axis: specs, hashing, registry
+# --------------------------------------------------------------------- #
+
+
+def test_event_spec_round_trips_and_hash_covers_events():
+    spec = geant_failure_spec()
+    rebuilt = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+    assert rebuilt == spec
+    assert rebuilt.config_hash() == spec.config_hash()
+
+    event_free = spec.with_events()
+    assert event_free.config_hash() != spec.config_hash()
+    moved = spec.with_events(
+        EventSpec("link-failure", time_s=1800.0, link=["DE", "FR"])
+    )
+    assert moved.config_hash() != spec.config_hash()
+    # Event-free specs keep the historical dict shape (no empty events key).
+    assert "events" not in event_free.to_dict()
+
+
+def test_unknown_event_kind_rejected_with_registered_names():
+    spec = geant_failure_spec(events=(EventSpec("meteor-strike", time_s=1.0),))
+    with pytest.raises(ConfigurationError, match="unknown event component"):
+        spec.validate()
+
+
+def test_event_builders_validate_their_windows():
+    with pytest.raises(ConfigurationError, match="repair_s"):
+        EventSpec("link-failure", time_s=10.0, link=["a", "b"], repair_s=5.0).build()
+    with pytest.raises(ConfigurationError, match="window is empty"):
+        EventSpec("traffic-surge", start_s=10.0, end_s=10.0).build()
+
+
+def test_failure_schedule_from_event_specs():
+    events = (
+        EventSpec("link-failure", time_s=5.7, link=["E", "H"], repair_s=9.0),
+        EventSpec("traffic-surge", start_s=1.0, factor=2.0),  # no simulator form
+        EventSpec("node-failure", time_s=2.0, node="A"),
+    )
+    schedule = failure_schedule(events)
+    kinds = [(type(event).__name__, event.kind) for event in schedule.events()]
+    assert kinds == [
+        ("NodeEvent", "fail"),
+        ("LinkEvent", "fail"),
+        ("LinkEvent", "repair"),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# The timeline itself
+# --------------------------------------------------------------------- #
+
+
+def test_build_timeline_applies_failures_and_surges():
+    spec = geant_failure_spec(
+        events=(
+            EventSpec("link-failure", time_s=900.0, link=["DE", "FR"], repair_s=1800.0),
+            EventSpec("traffic-surge", start_s=900.0, end_s=1800.0, factor=2.0),
+        )
+    )
+    built = build_scenario(spec)
+    timeline = build_timeline(built.topology, built.trace, built.spec.events)
+    assert len(timeline) == 3
+    first, second, third = timeline.steps
+    assert not first.view.has_failures
+    assert second.view.failed_links == {("DE", "FR")}
+    assert not third.view.has_failures  # repaired
+    # The repaired view is the base topology again (same cached object).
+    assert third.view is first.view
+    # Surge doubles demand during [900, 1800) only.
+    assert second.matrix.total_bps == pytest.approx(
+        2.0 * built.trace[1].total_bps
+    )
+    assert third.matrix.total_bps == pytest.approx(built.trace[2].total_bps)
+    fired_kinds = [record["kind"] for record in timeline.fired_records()]
+    assert fired_kinds == ["link-failure", "traffic-surge", "link-repair"]
+
+
+def test_event_targeting_unknown_element_is_rejected():
+    spec = geant_failure_spec(
+        events=(EventSpec("link-failure", time_s=0.0, link=["DE", "MARS"]),)
+    )
+    with pytest.raises(ConfigurationError, match="unknown link"):
+        run_scenario(spec)
+    node_spec = geant_failure_spec(
+        events=(EventSpec("node-failure", time_s=0.0, node="MARS"),)
+    )
+    with pytest.raises(ConfigurationError, match="unknown node"):
+        run_scenario(node_spec)
+    # Validation is eager: a typoed event scheduled past the trace end
+    # (which would never fire) must still be rejected, not silently turn
+    # the run event-free.
+    late_spec = geant_failure_spec(
+        events=(EventSpec("link-failure", time_s=1e9, link=["DE", "MARS"]),)
+    )
+    with pytest.raises(ConfigurationError, match="unknown link"):
+        run_scenario(late_spec)
+
+
+def test_stress_ablation_rejects_traffic_surges():
+    from repro.experiments.stress_ablation import run_stress_ablation
+
+    with pytest.raises(ConfigurationError, match="only supports topology events"):
+        run_stress_ablation(
+            fractions=(0.2,),
+            num_pairs=4,
+            num_endpoints=3,
+            events=[{"name": "traffic-surge", "params": {"start_s": 0.0}}],
+        )
+
+
+def test_event_before_trace_start_applies_to_first_interval():
+    spec = geant_failure_spec(
+        events=(EventSpec("link-failure", time_s=0.0, link=["DE", "FR"]),)
+    )
+    built = build_scenario(spec)
+    timeline = build_timeline(built.topology, built.trace, built.spec.events)
+    assert timeline.steps[0].view.failed_links == {("DE", "FR")}
+
+
+# --------------------------------------------------------------------- #
+# run_scenario over an eventful timeline (the acceptance scenario)
+# --------------------------------------------------------------------- #
+
+
+def test_run_scenario_with_link_failure_reports_reaction_metrics():
+    result = run_scenario(geant_failure_spec())
+    assert [event["kind"] for event in result.events] == ["link-failure"]
+    for label in ("response", "greente"):
+        assert len(result.power_percent[label]) == 3
+        assert len(result.compute_seconds[label]) == 3
+        assert all(value >= 0.0 for value in result.compute_seconds[label])
+    # Post-failure utilisation is reported for the activation-based scheme.
+    reaction = result.reaction["response"]
+    assert len(reaction) == 1
+    record = reaction[0]
+    assert record["kind"] == "link-failure"
+    assert record["interval_index"] == 1
+    assert record["max_utilisation"] is not None
+    assert record["power_percent"] == result.power_percent["response"][1]
+    assert isinstance(record["violation"], bool)
+    assert record["compute_seconds"] >= 0.0
+    # The REsPoNse plan is precomputed: no recomputation even under failure
+    # (its failover table was built offline).
+    assert result.recomputations["response"] == 0
+    # The JSON view round-trips (the --output file format).
+    round_tripped = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert round_tripped.to_dict() == result.to_dict()
+
+
+def test_node_failure_changes_ospf_power():
+    spec = geant_failure_spec(
+        schemes=(SchemeSpec("ospf"),),
+        events=(EventSpec("node-failure", time_s=900.0, node="DE"),),
+    )
+    result = run_scenario(spec)
+    series = result.power_percent["ospf"]
+    assert series[0] == 100.0
+    assert series[1] < 100.0  # the failed node and its links stop drawing power
+    assert result.reaction["ospf"][0]["kind"] == "node-failure"
+
+
+def test_event_free_timeline_is_bit_identical_to_cold_replay():
+    """Warm-start/memoising runtimes must not change event-free results."""
+    spec = geant_failure_spec(events=())
+    built = build_scenario(spec)
+    result = run_scenario(spec)
+    # The pre-timeline greente replay: cold candidates, one solve per matrix.
+    solutions = greente_replay(
+        built.topology,
+        built.power_model,
+        built.trace.matrices(),
+        k=5,
+        utilisation_limit=1.0,
+        pairs=built.pairs,
+        ordering="stable",
+    )
+    expected = [
+        100.0 * solution.power_w / built.baseline_power_w for solution in solutions
+    ]
+    assert result.power_percent["greente"] == expected  # exact, not approx
+
+
+def test_solver_runtime_memoises_unchanged_intervals(monkeypatch):
+    import repro.scenario.schemes as schemes_module
+
+    calls = []
+    original = schemes_module.greente_heuristic
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(schemes_module, "greente_heuristic", counting)
+    spec = geant_failure_spec(
+        traffic=TrafficSpec(
+            "gravity",
+            num_pairs=12,
+            num_endpoints=6,
+            seed=1,
+            calibrate=True,
+            levels=[0.5, 0.5, 0.5],  # three identical intervals
+        ),
+        schemes=(SchemeSpec("greente"),),
+        events=(),
+    )
+    result = run_scenario(spec)
+    assert len(calls) == 1  # solved once, replayed from warm state twice
+    assert len(set(result.power_percent["greente"])) == 1
+
+
+def test_candidate_paths_survive_across_timeline_steps(monkeypatch):
+    import repro.scenario.schemes as schemes_module
+
+    calls = []
+    original = schemes_module.k_shortest_paths_all_pairs
+
+    def counting(topology, k, pairs=None):
+        calls.append(topology.name)
+        return original(topology, k, pairs=pairs)
+
+    monkeypatch.setattr(schemes_module, "k_shortest_paths_all_pairs", counting)
+    run_scenario(geant_failure_spec(schemes=(SchemeSpec("greente"),)))
+    # One candidate computation on the intact topology, one on the degraded
+    # view — never one per interval.
+    assert calls == ["geant", "geant-degraded"]
+
+
+def test_legacy_function_scheme_runs_event_free_but_rejects_events():
+    @register("scheme", "_test-legacy-flat")
+    def _legacy(scenario, level=42.0):
+        matrices = scenario.trace.matrices()
+        return SchemeOutcome(power_percent=[level for _ in matrices])
+
+    event_free = geant_failure_spec(
+        schemes=(SchemeSpec("_test-legacy-flat", level=7.0),), events=()
+    )
+    result = run_scenario(event_free)
+    assert result.power_percent["_test-legacy-flat"] == [7.0, 7.0, 7.0]
+
+    eventful = geant_failure_spec(schemes=(SchemeSpec("_test-legacy-flat"),))
+    with pytest.raises(ConfigurationError, match="does not support dynamic events"):
+        run_scenario(eventful)
+
+
+# --------------------------------------------------------------------- #
+# CLI: events end-to-end, --output round-trip
+# --------------------------------------------------------------------- #
+
+
+def test_cli_list_components_shows_event_kinds(capsys):
+    assert main(["list-components", "--kind", "event"]) == 0
+    output = capsys.readouterr().out
+    assert "link-failure" in output
+    assert "traffic-surge" in output
+    assert "node-failure" in output
+
+
+def test_cli_event_flag_and_events_set_overrides(tmp_path, capsys):
+    output_path = tmp_path / "result.json"
+    assert (
+        main(
+            [
+                "run-scenario",
+                "--topology",
+                "geant",
+                "--traffic",
+                "gravity",
+                "--power",
+                "cisco",
+                "--scheme",
+                "response",
+                "--event",
+                "link-failure",
+                "--set",
+                "traffic.num_pairs=12",
+                "--set",
+                "traffic.num_endpoints=6",
+                "--set",
+                "traffic.calibrate=true",
+                "--set",
+                "traffic.levels=[0.5, 1.0]",
+                "--set",
+                "events.0.time_s=900",
+                "--set",
+                'events.0.link=["DE", "FR"]',
+                "--output",
+                str(output_path),
+            ]
+        )
+        == 0
+    )
+    printed = capsys.readouterr().out
+    assert "link-failure" in printed
+
+    payload = json.loads(output_path.read_text())
+    assert payload["spec"]["events"][0]["params"]["time_s"] == 900
+    assert payload["events"] == [
+        {"time_s": 900.0, "kind": "link-failure", "link": ["DE", "FR"]}
+    ]
+    restored = ScenarioResult.from_dict(payload)
+    assert restored.to_dict() == payload  # full --output round trip
+    assert restored.reaction["response"][0]["interval_index"] == 1
+
+
+def test_cli_events_set_rejects_bad_index(capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run-scenario",
+                "--topology",
+                "geant",
+                "--traffic",
+                "gravity",
+                "--power",
+                "cisco",
+                "--scheme",
+                "ospf",
+                "--set",
+                "events.0.time_s=900",
+            ]
+        )
+    assert "out of range" in capsys.readouterr().err
