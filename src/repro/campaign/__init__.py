@@ -1,0 +1,60 @@
+"""Campaigns: declarative scenario grids with a persistent results store.
+
+A **campaign** turns "run the paper's evaluation across many topologies ×
+traffic models × schemes × event schedules × seeds" into one declarative
+JSON document and one resumable command:
+
+* :class:`~repro.campaign.spec.CampaignSpec` — a base
+  :class:`~repro.scenario.spec.ScenarioSpec` plus axes; ``expand()`` yields
+  the config-hashed grid of :class:`~repro.campaign.spec.CampaignPoint`.
+* :class:`~repro.campaign.store.CampaignStore` — a SQLite store (campaigns,
+  points, results, metrics) keyed by config hash, so completed points are
+  never recomputed and a killed run loses at most one in-flight chunk.
+* :func:`~repro.campaign.run.run_campaign` — executes the missing points
+  through the sweep runner's error-isolating chunked process-pool backend.
+* :mod:`~repro.campaign.report` — filter/aggregate stored rows, per-scheme
+  summary tables, scheme dominance and deviation-from-best over the grid
+  (via :mod:`repro.analysis`), CSV/JSON export.
+
+Command line::
+
+    python -m repro.experiments run-campaign --spec campaign.json --store results.sqlite
+    python -m repro.experiments campaign-status --store results.sqlite
+    python -m repro.experiments campaign-report --store results.sqlite --format csv
+"""
+
+from .report import (
+    LOWER_IS_BETTER,
+    deviation_from_best,
+    filter_rows,
+    format_table,
+    parse_filters,
+    rows_to_csv,
+    rows_to_json,
+    scheme_dominance,
+    summarise,
+)
+from .run import CampaignRunSummary, run_campaign
+from .spec import AXIS_KEYS, CAMPAIGN_SCHEMA_VERSION, CampaignPoint, CampaignSpec
+from .store import STORE_SCHEMA_VERSION, CampaignStore, canonical_result_dict
+
+__all__ = [
+    "AXIS_KEYS",
+    "CAMPAIGN_SCHEMA_VERSION",
+    "LOWER_IS_BETTER",
+    "STORE_SCHEMA_VERSION",
+    "CampaignPoint",
+    "CampaignRunSummary",
+    "CampaignSpec",
+    "CampaignStore",
+    "canonical_result_dict",
+    "deviation_from_best",
+    "filter_rows",
+    "format_table",
+    "parse_filters",
+    "rows_to_csv",
+    "rows_to_json",
+    "run_campaign",
+    "scheme_dominance",
+    "summarise",
+]

@@ -1,0 +1,296 @@
+"""Command-line subcommands for campaigns.
+
+Dispatched from ``python -m repro.experiments``:
+
+* ``run-campaign`` — expand a campaign spec and execute (or resume) it
+  against a SQLite results store.
+* ``campaign-status`` — show stored campaigns and their point statuses.
+* ``campaign-report`` — aggregate stored results (summary tables, scheme
+  dominance, deviation-from-best) and export metric rows as CSV/JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .report import (
+    deviation_from_best,
+    filter_rows,
+    format_table,
+    parse_filters,
+    rows_to_csv,
+    rows_to_json,
+    scheme_dominance,
+    summarise,
+)
+from .run import run_campaign
+from .spec import CampaignSpec
+from .store import CampaignStore
+
+
+def _require_store(path: str, parser: argparse.ArgumentParser) -> None:
+    """Read-only subcommands refuse a missing store instead of creating one.
+
+    Opening a nonexistent path would silently write an empty schema'd
+    SQLite file — a stray store that masks a ``--store`` typo forever.
+    """
+    if not os.path.exists(path):
+        parser.error(f"campaign store {path!r} does not exist (check --store)")
+
+
+def _load_campaign_spec(path: str) -> CampaignSpec:
+    if path == "-":
+        return CampaignSpec.from_json(sys.stdin.read())
+    with open(path, "r", encoding="utf-8") as handle:
+        return CampaignSpec.from_dict(json.load(handle))
+
+
+def _run_campaign_command(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run-campaign",
+        description=(
+            "Expand a declarative campaign spec (base scenario x axes) into "
+            "its grid and execute it against a persistent results store. "
+            "Completed points (matched by config hash) are skipped, so "
+            "re-invoking an interrupted campaign resumes it."
+        ),
+    )
+    parser.add_argument("--spec", required=True, help="campaign spec JSON file ('-' reads stdin)")
+    parser.add_argument(
+        "--store", default="campaign.sqlite", help="SQLite results store (default: %(default)s)"
+    )
+    parser.add_argument("--parallel", action="store_true", help="fan out over processes")
+    parser.add_argument("--processes", type=int, default=None, help="pool size")
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="points persisted per batch (durability granularity)",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="execute at most this many new points, then stop",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="also read/write the sweep runner's per-point pickle cache",
+    )
+    parser.add_argument("--json", action="store_true", help="print the summary as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = _load_campaign_spec(args.spec)
+        summary = run_campaign(
+            spec,
+            store_path=args.store,
+            parallel=args.parallel,
+            processes=args.processes,
+            chunk_size=args.chunk_size,
+            max_points=args.max_points,
+            sweep_cache_dir=args.cache_dir,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 1 if summary.failed else 0
+    print(f"campaign: {summary.name} ({summary.campaign_id[:16]})")
+    print(f"store: {summary.store_path}")
+    print(
+        f"points: {summary.total_points} total, "
+        f"{summary.completed_before} already done "
+        f"({summary.adopted} adopted by config hash), "
+        f"{summary.executed} executed, {summary.failed} failed, "
+        f"{summary.remaining} remaining"
+    )
+    if summary.executed:
+        print(
+            f"elapsed: {summary.elapsed_s:.2f}s "
+            f"({summary.points_per_second:.2f} points/s, "
+            f"{'parallel' if summary.parallel else 'serial'})"
+        )
+    for error in summary.errors:
+        print(f"  FAILED {error}")
+    return 1 if summary.failed else 0
+
+
+def _campaign_status_command(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments campaign-status",
+        description="Show stored campaigns and their per-point statuses.",
+    )
+    parser.add_argument("--store", default="campaign.sqlite", help="SQLite results store")
+    parser.add_argument(
+        "--campaign", default=None, help="campaign name or id (prefix) for point detail"
+    )
+    parser.add_argument("--json", action="store_true", help="print as JSON")
+    args = parser.parse_args(argv)
+    _require_store(args.store, parser)
+
+    try:
+        with CampaignStore(args.store) as store:
+            campaigns = store.campaigns()
+            if not campaigns:
+                parser.error(f"campaign store {args.store} holds no campaigns")
+            detail: Optional[List[Dict[str, Any]]] = None
+            selected: Optional[Dict[str, Any]] = None
+            if args.campaign is not None:
+                selected = store.find_campaign(args.campaign)
+                detail = store.points(selected["campaign_id"])
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+    if args.json:
+        payload: Dict[str, Any] = {"store": args.store, "campaigns": campaigns}
+        if detail is not None:
+            payload["points"] = detail
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {args.store}")
+    rows = [
+        {
+            "campaign": row["name"],
+            "id": row["campaign_id"][:12],
+            "points": row["num_points"],
+            "done": row["done"] or 0,
+            "error": row["errors"] or 0,
+            "pending": row["pending"] or 0,
+            "created": row["created_at"],
+        }
+        for row in campaigns
+    ]
+    print(format_table(rows))
+    if detail is not None and selected is not None:
+        print(f"\npoints of {selected['name']} ({selected['campaign_id'][:12]}):")
+        point_rows = []
+        for point in detail:
+            entry = {
+                "index": point["point_index"],
+                "status": point["status"],
+                "point": point["name"],
+            }
+            if point["elapsed_s"] is not None:
+                entry["elapsed_s"] = round(point["elapsed_s"], 3)
+            if point["error"]:
+                entry["error"] = point["error"].strip().splitlines()[-1]
+            point_rows.append(entry)
+        print(format_table(point_rows))
+    return 0
+
+
+def _campaign_report_command(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments campaign-report",
+        description=(
+            "Aggregate a stored campaign: per-group summary tables, scheme "
+            "dominance and deviation-from-best over the grid, plus CSV/JSON "
+            "export of the flat metric rows."
+        ),
+    )
+    parser.add_argument("--store", default="campaign.sqlite", help="SQLite results store")
+    parser.add_argument("--campaign", default=None, help="campaign name or id (prefix)")
+    parser.add_argument(
+        "--metric",
+        default="mean_power_percent",
+        help="metric to aggregate (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--group-by",
+        action="append",
+        default=None,
+        metavar="COLUMN",
+        help="group summary rows by this column (repeatable; default: scheme)",
+    )
+    parser.add_argument(
+        "--filter",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="only rows matching this axis/scheme value (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format (csv/json export the flat metric rows)",
+    )
+    parser.add_argument("--output", metavar="PATH", help="write the output to PATH")
+    args = parser.parse_args(argv)
+    _require_store(args.store, parser)
+
+    try:
+        with CampaignStore(args.store) as store:
+            campaign = store.find_campaign(args.campaign)
+            known_metrics = store.metric_names(campaign["campaign_id"])
+            if known_metrics and args.metric not in known_metrics:
+                raise ConfigurationError(
+                    f"unknown metric {args.metric!r}; this campaign recorded: "
+                    f"{', '.join(known_metrics)}"
+                )
+            rows = filter_rows(
+                store.metric_rows(campaign["campaign_id"]),
+                parse_filters(args.filter),
+            )
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+    if args.format == "csv":
+        text = rows_to_csv(rows)
+    elif args.format == "json":
+        text = rows_to_json(rows)
+    else:
+        group_by = args.group_by or ["scheme"]
+        counts = f"{campaign['done'] or 0}/{campaign['num_points']}"
+        sections = [
+            f"campaign: {campaign['name']} ({campaign['campaign_id'][:12]}, "
+            f"{counts} points done)",
+            f"\nsummary of {args.metric} by {', '.join(group_by)}:",
+            format_table(summarise(rows, metric=args.metric, group_by=group_by)),
+        ]
+        dominance = scheme_dominance(rows, metric=args.metric)
+        direction = "lower" if dominance["lower_is_better"] else "higher"
+        if dominance["dominant_scheme"] is not None:
+            shares = ", ".join(
+                f"{scheme}: {share:.0%}"
+                for scheme, share in sorted(dominance["winners"].items())
+            )
+            sections.append(
+                f"\ndominance on {args.metric} ({direction} is better, "
+                f"{dominance['points']} points): {dominance['dominant_scheme']} "
+                f"wins {dominance['dominant_fraction']:.0%} ({shares})"
+            )
+        deviation = deviation_from_best(rows, metric=args.metric)
+        if deviation:
+            sections.append("\ndeviation from per-point best:")
+            sections.append(format_table(deviation))
+        text = "\n".join(sections) + "\n"
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def campaign_command(name: str, argv: Sequence[str]) -> int:
+    """Dispatch one campaign subcommand (called from the experiments CLI)."""
+    if name == "run-campaign":
+        return _run_campaign_command(argv)
+    if name == "campaign-status":
+        return _campaign_status_command(argv)
+    if name == "campaign-report":
+        return _campaign_report_command(argv)
+    raise ConfigurationError(f"unknown campaign subcommand {name!r}")
+
+
+__all__ = ["campaign_command"]

@@ -1,0 +1,252 @@
+"""Query, aggregate and export campaign results.
+
+The report layer answers grid-level questions from the store without
+re-running anything: *which scheme dominates on mean power across the whole
+grid?  how far from the per-point best does each scheme stay?  what does
+the topology axis do to savings?*  It works on the flat **metric rows** the
+store derives from every result (one row per completed point × scheme,
+carrying the point's axis coordinates plus scalar metrics) and reuses the
+:mod:`repro.analysis` toolkit: per-group distributions come from
+:func:`~repro.analysis.metrics.percentile_summary` and the cross-grid
+winner distribution from
+:func:`~repro.analysis.dominance.configuration_dominance` — the same
+machinery the paper's Figure 2a uses for routing configurations, applied to
+schemes across a campaign.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.dominance import DominanceResult, configuration_dominance
+from ..analysis.metrics import percentile_summary
+from ..exceptions import ConfigurationError
+
+#: Metrics where smaller values win (used by dominance/deviation defaults).
+LOWER_IS_BETTER = {
+    "mean_power_percent": True,
+    "mean_savings_percent": False,
+    "recomputations": True,
+    "peak_utilisation": True,
+    "violation_intervals": True,
+    "mean_compute_s": True,
+    "total_compute_s": True,
+}
+
+
+def parse_filters(expressions: Sequence[str]) -> Dict[str, str]:
+    """``["scheme=response", "seed=0"]`` → ``{"scheme": "response", "seed": "0"}``."""
+    filters: Dict[str, str] = {}
+    for expression in expressions:
+        key, separator, value = expression.partition("=")
+        if not separator or not key:
+            raise ConfigurationError(
+                f"filters look like KEY=VALUE (an axis, 'scheme' or 'point'), "
+                f"got {expression!r}"
+            )
+        filters[key] = value
+    return filters
+
+
+def filter_rows(
+    rows: Sequence[Mapping[str, Any]], filters: Optional[Mapping[str, str]] = None
+) -> List[Dict[str, Any]]:
+    """Rows whose columns match every filter (string-compared).
+
+    Raises:
+        ConfigurationError: If a filter names a column no row has.
+    """
+    if not filters:
+        return [dict(row) for row in rows]
+    known = set()
+    for row in rows:
+        known.update(row)
+    unknown = [key for key in filters if key not in known]
+    if unknown and rows:
+        raise ConfigurationError(
+            f"unknown filter column(s) {unknown}; rows have: {sorted(known)}"
+        )
+    kept = []
+    for row in rows:
+        if all(str(row.get(key)) == value for key, value in filters.items()):
+            kept.append(dict(row))
+    return kept
+
+
+def _group_key(row: Mapping[str, Any], group_by: Sequence[str]) -> Tuple[str, ...]:
+    return tuple(str(row.get(column)) for column in group_by)
+
+
+def summarise(
+    rows: Sequence[Mapping[str, Any]],
+    metric: str = "mean_power_percent",
+    group_by: Sequence[str] = ("scheme",),
+) -> List[Dict[str, Any]]:
+    """Aggregate one metric over row groups.
+
+    Returns one record per group (in first-seen order): the group columns,
+    ``count`` and the min/median/mean/p95/max distribution of the metric
+    (:func:`~repro.analysis.metrics.percentile_summary`).  Rows missing the
+    metric (schemes that do not track it) are skipped.
+    """
+    groups: Dict[Tuple[str, ...], List[float]] = {}
+    for row in rows:
+        if metric not in row:
+            continue
+        groups.setdefault(_group_key(row, group_by), []).append(float(row[metric]))
+    records = []
+    for key, values in groups.items():
+        record: Dict[str, Any] = dict(zip(group_by, key))
+        record["metric"] = metric
+        record["count"] = len(values)
+        record.update(percentile_summary(values))
+        records.append(record)
+    return records
+
+
+def scheme_dominance(
+    rows: Sequence[Mapping[str, Any]],
+    metric: str = "mean_power_percent",
+    lower_is_better: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Which scheme wins each grid point, and how dominant the winner is.
+
+    Every completed point contributes one winner (the scheme with the best
+    metric value at that point); the winner sequence feeds
+    :func:`~repro.analysis.dominance.configuration_dominance`, exactly as
+    the paper measures routing-configuration dwell time.  Returns the
+    per-scheme win share plus the dominance distribution.
+    """
+    if lower_is_better is None:
+        lower_is_better = LOWER_IS_BETTER.get(metric, True)
+    by_point: Dict[str, List[Tuple[float, str]]] = {}
+    for row in rows:
+        if metric not in row:
+            continue
+        by_point.setdefault(str(row["config_hash"]), []).append(
+            (float(row[metric]), str(row["scheme"]))
+        )
+    winners: List[str] = []
+    for candidates in by_point.values():
+        best = min(candidates) if lower_is_better else max(candidates)
+        winners.append(best[1])
+    dominance: DominanceResult = configuration_dominance(winners)
+    shares: Dict[str, float] = {}
+    if winners:
+        for scheme in sorted(set(winners)):
+            shares[scheme] = winners.count(scheme) / len(winners)
+    dominant = max(shares, key=shares.get) if shares else None
+    return {
+        "metric": metric,
+        "lower_is_better": lower_is_better,
+        "points": len(winners),
+        "winners": shares,
+        "dominant_scheme": dominant,
+        "dominant_fraction": dominance.dominant_fraction,
+        "num_winning_schemes": dominance.num_configurations,
+    }
+
+
+def deviation_from_best(
+    rows: Sequence[Mapping[str, Any]],
+    metric: str = "mean_power_percent",
+    lower_is_better: Optional[bool] = None,
+) -> List[Dict[str, Any]]:
+    """Per-scheme distribution of the gap to each point's best value.
+
+    The campaign-level analogue of the paper's "REsPoNse stays within a few
+    percent of the optimum": for every grid point, each scheme's deviation
+    is its metric value minus the best value any scheme achieved at that
+    point (sign-adjusted so 0 is optimal and larger is worse); deviations
+    are then summarised per scheme with
+    :func:`~repro.analysis.metrics.percentile_summary`.
+    """
+    if lower_is_better is None:
+        lower_is_better = LOWER_IS_BETTER.get(metric, True)
+    by_point: Dict[str, List[Mapping[str, Any]]] = {}
+    for row in rows:
+        if metric not in row:
+            continue
+        by_point.setdefault(str(row["config_hash"]), []).append(row)
+    deviations: Dict[str, List[float]] = {}
+    for candidates in by_point.values():
+        values = [float(row[metric]) for row in candidates]
+        best = min(values) if lower_is_better else max(values)
+        for row in candidates:
+            gap = float(row[metric]) - best
+            if not lower_is_better:
+                gap = -gap
+            deviations.setdefault(str(row["scheme"]), []).append(gap)
+    records = []
+    for scheme in sorted(deviations):
+        record: Dict[str, Any] = {"scheme": scheme, "metric": metric}
+        record["count"] = len(deviations[scheme])
+        record.update(percentile_summary(deviations[scheme]))
+        records.append(record)
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Rendering and export
+# --------------------------------------------------------------------- #
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render records as a fixed-width text table (column order preserved)."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    table = [columns] + [
+        [_format_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Records as a CSV document (union of columns, row order preserved)."""
+    buffer = io.StringIO()
+    columns: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Records as a JSON array document."""
+    return json.dumps(list(rows), indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "LOWER_IS_BETTER",
+    "deviation_from_best",
+    "filter_rows",
+    "format_table",
+    "parse_filters",
+    "rows_to_csv",
+    "rows_to_json",
+    "scheme_dominance",
+    "summarise",
+]

@@ -1,0 +1,207 @@
+"""Resumable campaign execution over the sweep runner's chunked backend.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.spec.CampaignSpec`
+into its grid, registers it in the :class:`~repro.campaign.store.CampaignStore`
+and executes only the points whose config hash has no stored result yet.
+Points run through :func:`repro.experiments.runner.iter_outcome_chunks` —
+the same process-pool fan-out the figure sweeps use, but with per-point
+error capture — and every chunk's outcomes are persisted before the next
+chunk starts.  Killing a run therefore loses at most one in-flight chunk,
+and re-invoking it completes exactly the missing points: the store ends up
+bit-for-bit identical (modulo wall-clock fields) to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..exceptions import ConfigurationError
+from ..experiments.runner import iter_outcome_chunks
+from ..scenario.engine import ScenarioResult
+from .spec import CampaignPoint, CampaignSpec
+from .store import CampaignStore
+
+_LOGGER = logging.getLogger(__name__)
+
+
+@dataclass
+class CampaignRunSummary:
+    """What one :func:`run_campaign` invocation did.
+
+    Attributes:
+        campaign_id: The campaign's stable identity in the store.
+        name: The campaign name.
+        store_path: Where the results store lives.
+        total_points: Size of the expanded grid.
+        completed_before: Points already ``done`` when this run started
+            (the resume skip set).
+        adopted: Points marked done because another campaign had already
+            stored a result under the same config hash.
+        executed: Points actually run by this invocation.
+        failed: How many of the executed points errored (recorded, not
+            raised).
+        remaining: Points still not done when this run returned (a
+            ``max_points`` bound or failures).
+        elapsed_s: Wall-clock time spent executing points.
+        parallel: Whether the run fanned out over worker processes.
+    """
+
+    campaign_id: str
+    name: str
+    store_path: str
+    total_points: int
+    completed_before: int = 0
+    adopted: int = 0
+    executed: int = 0
+    failed: int = 0
+    remaining: int = 0
+    elapsed_s: float = 0.0
+    parallel: bool = False
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def points_per_second(self) -> float:
+        """Throughput of this invocation's executed points."""
+        if self.executed == 0 or self.elapsed_s <= 0:
+            return 0.0
+        return self.executed / self.elapsed_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready view (for ``run-campaign --json`` and tooling)."""
+        return {
+            "campaign_id": self.campaign_id,
+            "name": self.name,
+            "store_path": self.store_path,
+            "total_points": self.total_points,
+            "completed_before": self.completed_before,
+            "adopted": self.adopted,
+            "executed": self.executed,
+            "failed": self.failed,
+            "remaining": self.remaining,
+            "elapsed_s": self.elapsed_s,
+            "points_per_second": self.points_per_second,
+            "parallel": self.parallel,
+            "errors": list(self.errors),
+        }
+
+
+def _coerce_campaign(spec: Any) -> CampaignSpec:
+    if isinstance(spec, CampaignSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return CampaignSpec.from_dict(spec)
+    raise ConfigurationError(
+        f"expected a CampaignSpec or a campaign spec mapping, got "
+        f"{type(spec).__qualname__}"
+    )
+
+
+def run_campaign(
+    spec: Any,
+    store_path: Union[str, os.PathLike],
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    max_points: Optional[int] = None,
+    sweep_cache_dir: Optional[Union[str, os.PathLike]] = None,
+) -> CampaignRunSummary:
+    """Execute (or resume) a campaign against a results store.
+
+    Args:
+        spec: A :class:`CampaignSpec` or its dict form.
+        store_path: The SQLite store file (created if missing).
+        parallel: Fan points out over a ``fork`` process pool.
+        processes: Pool size (default: CPU count, bounded by the grid).
+        chunk_size: Points persisted per batch; the durability granularity.
+            Defaults to one per point serially, the pool size in parallel.
+        max_points: Execute at most this many new points, then return with
+            ``remaining > 0`` — a bounded slice of a long campaign (and the
+            deterministic stand-in for a killed run in tests).
+        sweep_cache_dir: Optional per-point pickle cache shared with the
+            sweep runner; the store itself is the authoritative record.
+
+    Returns:
+        A :class:`CampaignRunSummary`.  Point failures are recorded in the
+        store (status ``error``) and counted, never raised; re-invoking the
+        campaign retries them.
+    """
+    campaign = _coerce_campaign(spec)
+    points = campaign.expand()
+    with CampaignStore(store_path) as store:
+        campaign_id = store.register_campaign(campaign, points)
+        adopted = store.adopt_existing_results(campaign_id)
+        statuses = store.point_statuses(campaign_id)
+        pending: List[CampaignPoint] = [
+            point for point in points if statuses.get(point.config_hash) != "done"
+        ]
+        summary = CampaignRunSummary(
+            campaign_id=campaign_id,
+            name=campaign.name,
+            store_path=str(store.path),
+            total_points=len(points),
+            completed_before=len(points) - len(pending),
+            adopted=adopted,
+            parallel=parallel,
+        )
+        if max_points is not None:
+            if max_points < 0:
+                raise ConfigurationError(f"max_points must be >= 0, got {max_points}")
+            pending = pending[:max_points]
+        if not pending:
+            # Nothing to execute this invocation — but a max_points bound
+            # (or prior failures) may still leave points outstanding.
+            counts = store.status_counts(campaign_id)
+            summary.remaining = counts["total"] - counts["done"]
+            return summary
+
+        by_hash = {point.config_hash: point for point in pending}
+        sweep_points = [point.spec.sweep_point() for point in pending]
+        start = time.perf_counter()
+        for chunk in iter_outcome_chunks(
+            sweep_points,
+            cache_dir=sweep_cache_dir,
+            parallel=parallel,
+            processes=processes,
+            chunk_size=chunk_size,
+        ):
+            for outcome in chunk:
+                point = by_hash[outcome.point.config_hash()]
+                summary.executed += 1
+                if not outcome.ok:
+                    summary.failed += 1
+                    summary.errors.append(
+                        f"{point.name}: {outcome.error.strip().splitlines()[-1]}"
+                    )
+                    _LOGGER.warning(
+                        "campaign point %r failed:\n%s", point.name, outcome.error
+                    )
+                    store.record_failure(
+                        campaign_id, point, outcome.error, outcome.elapsed_s
+                    )
+                    continue
+                result = outcome.value
+                if not isinstance(result, ScenarioResult):
+                    result = ScenarioResult.from_dict(result)
+                if result.config_hash != point.config_hash:
+                    # A hashing regression would silently corrupt resume
+                    # bookkeeping — record it as a failure instead.
+                    summary.failed += 1
+                    message = (
+                        f"result config hash {result.config_hash} does not match "
+                        f"the expanded point's {point.config_hash}"
+                    )
+                    summary.errors.append(f"{point.name}: {message}")
+                    store.record_failure(campaign_id, point, message, outcome.elapsed_s)
+                    continue
+                store.record_result(campaign_id, point, result, outcome.elapsed_s)
+        summary.elapsed_s = time.perf_counter() - start
+        counts = store.status_counts(campaign_id)
+        summary.remaining = counts["total"] - counts["done"]
+        return summary
+
+
+__all__ = ["CampaignRunSummary", "run_campaign"]

@@ -1,0 +1,453 @@
+"""The persistent campaign results store (SQLite).
+
+Every campaign run records what it did into one SQLite file, so a grid of
+hundreds of scenarios has a durable record — what ran, what failed, how
+long each point took and every :class:`~repro.scenario.engine.ScenarioResult`
+row — instead of a directory of anonymous pickles.  The schema:
+
+* ``campaigns`` — one row per registered campaign (identity = the
+  schema-versioned hash of its spec), holding the spec JSON.
+* ``points`` — one row per expanded grid point and campaign, carrying the
+  point's axis coordinates, scenario spec, status (``pending`` → ``done`` /
+  ``error``), error traceback and timing.
+* ``results`` — one row per **config hash**, holding the result JSON.  The
+  config hash is the idempotency key: a point whose hash already has a
+  result is complete by definition, which is what makes campaigns
+  resumable (and lets separate campaigns share identical points).
+* ``metrics`` — flattened per-scheme scalar metrics
+  (:meth:`~repro.scenario.engine.ScenarioResult.headline_metrics`) per
+  config hash, so the report layer aggregates without re-parsing JSON.
+
+A single process writes the store (workers only compute), so plain SQLite
+transactions per recorded point are all the durability machinery needed: a
+killed run loses at most the in-flight chunk.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import sqlite3
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..scenario.engine import ScenarioResult
+from .spec import CampaignPoint, CampaignSpec
+
+#: Bump on incompatible schema changes (checked against ``PRAGMA user_version``).
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    num_points  INTEGER NOT NULL,
+    created_at  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS points (
+    campaign_id  TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    config_hash  TEXT NOT NULL,
+    point_index  INTEGER NOT NULL,
+    name         TEXT NOT NULL,
+    axes_json    TEXT NOT NULL,
+    spec_json    TEXT NOT NULL,
+    status       TEXT NOT NULL DEFAULT 'pending',
+    error        TEXT,
+    elapsed_s    REAL,
+    completed_at TEXT,
+    PRIMARY KEY (campaign_id, config_hash)
+);
+CREATE TABLE IF NOT EXISTS results (
+    config_hash TEXT PRIMARY KEY,
+    result_json TEXT NOT NULL,
+    created_at  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    config_hash TEXT NOT NULL REFERENCES results(config_hash),
+    scheme      TEXT NOT NULL,
+    metric      TEXT NOT NULL,
+    value       REAL,
+    PRIMARY KEY (config_hash, scheme, metric)
+);
+CREATE INDEX IF NOT EXISTS idx_points_status ON points(campaign_id, status);
+"""
+
+#: Result/metric fields that carry wall-clock measurements.  They differ
+#: between otherwise identical runs, so determinism-sensitive comparisons
+#: (``canonical_dump``) strip them.
+VOLATILE_RESULT_FIELDS = ("compute_seconds",)
+VOLATILE_REACTION_KEYS = ("compute_seconds",)
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def canonical_result_dict(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """A result dict with every wall-clock field stripped.
+
+    Two runs of the same grid produce bit-identical canonical dicts — the
+    basis of the resume guarantee ("an interrupted-and-resumed store matches
+    an uninterrupted serial run") — while raw stored rows keep their
+    timings.
+    """
+    canonical = copy.deepcopy(dict(result))
+    for field in VOLATILE_RESULT_FIELDS:
+        canonical.pop(field, None)
+    reaction = canonical.get("reaction")
+    if isinstance(reaction, Mapping):
+        canonical["reaction"] = {
+            label: [
+                {k: v for k, v in record.items() if k not in VOLATILE_REACTION_KEYS}
+                for record in records
+            ]
+            for label, records in reaction.items()
+        }
+    return canonical
+
+
+class CampaignStore:
+    """One SQLite results store, usable as a context manager."""
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.row_factory = sqlite3.Row
+        try:
+            self._connection.execute("PRAGMA foreign_keys = ON")
+            version = self._connection.execute("PRAGMA user_version").fetchone()[0]
+        except sqlite3.DatabaseError as error:
+            self._connection.close()
+            raise ConfigurationError(
+                f"{self.path} is not a SQLite campaign store ({error})"
+            ) from error
+        if version == 0:
+            self._connection.executescript(_SCHEMA)
+            self._connection.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION}")
+            self._connection.commit()
+        elif version != STORE_SCHEMA_VERSION:
+            self._connection.close()
+            raise ConfigurationError(
+                f"campaign store {self.path} has schema version {version}, "
+                f"this code expects {STORE_SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Registration and status
+    # ------------------------------------------------------------------ #
+    def register_campaign(
+        self, spec: CampaignSpec, points: Sequence[CampaignPoint]
+    ) -> str:
+        """Idempotently record a campaign and its expanded points.
+
+        Re-registering the same campaign (same spec, hence same id) leaves
+        existing point statuses untouched — that is what makes re-invoking
+        ``run-campaign`` a resume rather than a restart.
+        """
+        campaign_id = spec.campaign_id()
+        self._connection.execute(
+            "INSERT OR IGNORE INTO campaigns "
+            "(campaign_id, name, spec_json, num_points, created_at) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                campaign_id,
+                spec.name,
+                json.dumps(spec.to_dict(), sort_keys=True),
+                len(points),
+                _now(),
+            ),
+        )
+        self._connection.executemany(
+            "INSERT OR IGNORE INTO points "
+            "(campaign_id, config_hash, point_index, name, axes_json, spec_json) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    campaign_id,
+                    point.config_hash,
+                    point.index,
+                    point.name,
+                    json.dumps(point.axes, sort_keys=True),
+                    json.dumps(point.spec.to_dict(), sort_keys=True),
+                )
+                for point in points
+            ],
+        )
+        self._connection.commit()
+        return campaign_id
+
+    def adopt_existing_results(self, campaign_id: str) -> int:
+        """Mark pending points complete when their result row already exists.
+
+        The config hash is the idempotency key across the whole store, so a
+        point another campaign (or an interrupted run) already computed is
+        done — no execution needed.  Returns how many points were adopted.
+        """
+        cursor = self._connection.execute(
+            "UPDATE points SET status = 'done', error = NULL, completed_at = ? "
+            "WHERE campaign_id = ? AND status != 'done' "
+            "AND config_hash IN (SELECT config_hash FROM results)",
+            (_now(), campaign_id),
+        )
+        self._connection.commit()
+        return cursor.rowcount
+
+    def point_statuses(self, campaign_id: str) -> Dict[str, str]:
+        """``config_hash -> status`` for every point of a campaign."""
+        rows = self._connection.execute(
+            "SELECT config_hash, status FROM points WHERE campaign_id = ?",
+            (campaign_id,),
+        )
+        return {row["config_hash"]: row["status"] for row in rows}
+
+    def status_counts(self, campaign_id: str) -> Dict[str, int]:
+        """``{'total', 'done', 'error', 'pending'}`` counts for a campaign."""
+        rows = self._connection.execute(
+            "SELECT status, COUNT(*) AS n FROM points "
+            "WHERE campaign_id = ? GROUP BY status",
+            (campaign_id,),
+        )
+        counts = {"done": 0, "error": 0, "pending": 0}
+        for row in rows:
+            counts[row["status"]] = row["n"]
+        counts["total"] = sum(counts.values())
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Recording outcomes
+    # ------------------------------------------------------------------ #
+    def record_result(
+        self,
+        campaign_id: str,
+        point: CampaignPoint,
+        result: ScenarioResult,
+        elapsed_s: float,
+    ) -> None:
+        """Persist one successful point: result row, metrics, point status."""
+        result_dict = result.to_dict()
+        self._connection.execute(
+            "INSERT OR REPLACE INTO results (config_hash, result_json, created_at) "
+            "VALUES (?, ?, ?)",
+            (point.config_hash, json.dumps(result_dict, sort_keys=True), _now()),
+        )
+        self._connection.execute(
+            "DELETE FROM metrics WHERE config_hash = ?", (point.config_hash,)
+        )
+        self._connection.executemany(
+            "INSERT INTO metrics (config_hash, scheme, metric, value) "
+            "VALUES (?, ?, ?, ?)",
+            [
+                (point.config_hash, scheme, metric, float(value))
+                for scheme, entry in result.headline_metrics().items()
+                for metric, value in entry.items()
+            ],
+        )
+        self._connection.execute(
+            "UPDATE points SET status = 'done', error = NULL, elapsed_s = ?, "
+            "completed_at = ? WHERE campaign_id = ? AND config_hash = ?",
+            (elapsed_s, _now(), campaign_id, point.config_hash),
+        )
+        self._connection.commit()
+
+    def record_failure(
+        self, campaign_id: str, point: CampaignPoint, error: str, elapsed_s: float
+    ) -> None:
+        """Persist one failed point (status ``error`` plus the traceback)."""
+        self._connection.execute(
+            "UPDATE points SET status = 'error', error = ?, elapsed_s = ?, "
+            "completed_at = ? WHERE campaign_id = ? AND config_hash = ?",
+            (error, elapsed_s, _now(), campaign_id, point.config_hash),
+        )
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """Every stored campaign with its status counts, oldest first."""
+        rows = self._connection.execute(
+            "SELECT c.campaign_id, c.name, c.num_points, c.created_at, "
+            "SUM(p.status = 'done') AS done, SUM(p.status = 'error') AS errors, "
+            "SUM(p.status = 'pending') AS pending "
+            "FROM campaigns c LEFT JOIN points p USING (campaign_id) "
+            "GROUP BY c.campaign_id ORDER BY c.created_at, c.campaign_id"
+        )
+        return [dict(row) for row in rows]
+
+    def find_campaign(self, selector: Optional[str] = None) -> Dict[str, Any]:
+        """Resolve a campaign by name, full id or id prefix.
+
+        With no selector the store must hold exactly one campaign.
+
+        Raises:
+            ConfigurationError: On no match, an ambiguous match, or an
+                empty store.
+        """
+        campaigns = self.campaigns()
+        if not campaigns:
+            raise ConfigurationError(f"campaign store {self.path} holds no campaigns")
+        if selector is None:
+            if len(campaigns) == 1:
+                return campaigns[0]
+            names = ", ".join(
+                f"{row['name']} ({row['campaign_id'][:12]})" for row in campaigns
+            )
+            raise ConfigurationError(
+                f"campaign store holds {len(campaigns)} campaigns — select one "
+                f"by name or id: {names}"
+            )
+        matches = [
+            row
+            for row in campaigns
+            if row["name"] == selector or row["campaign_id"].startswith(selector)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        names = ", ".join(
+            f"{row['name']} ({row['campaign_id'][:12]})" for row in campaigns
+        )
+        if not matches:
+            raise ConfigurationError(
+                f"no campaign matches {selector!r}; stored campaigns: {names}"
+            )
+        raise ConfigurationError(
+            f"{selector!r} is ambiguous; stored campaigns: {names}"
+        )
+
+    def points(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """Every point row of a campaign, in grid order (axes decoded)."""
+        rows = self._connection.execute(
+            "SELECT * FROM points WHERE campaign_id = ? ORDER BY point_index",
+            (campaign_id,),
+        )
+        decoded = []
+        for row in rows:
+            entry = dict(row)
+            entry["axes"] = json.loads(entry.pop("axes_json"))
+            entry["spec"] = json.loads(entry.pop("spec_json"))
+            decoded.append(entry)
+        return decoded
+
+    def result(self, config_hash: str) -> Optional[ScenarioResult]:
+        """The stored result for a config hash, if any."""
+        row = self._connection.execute(
+            "SELECT result_json FROM results WHERE config_hash = ?", (config_hash,)
+        ).fetchone()
+        if row is None:
+            return None
+        return ScenarioResult.from_dict(json.loads(row["result_json"]))
+
+    def iter_results(
+        self, campaign_id: str
+    ) -> Iterator[Tuple[Dict[str, Any], ScenarioResult]]:
+        """``(point row, result)`` pairs for every completed point, in order."""
+        rows = self._connection.execute(
+            "SELECT p.*, r.result_json FROM points p "
+            "JOIN results r USING (config_hash) "
+            "WHERE p.campaign_id = ? AND p.status = 'done' ORDER BY p.point_index",
+            (campaign_id,),
+        )
+        for row in rows:
+            entry = dict(row)
+            result_json = entry.pop("result_json")
+            entry["axes"] = json.loads(entry.pop("axes_json"))
+            entry["spec"] = json.loads(entry.pop("spec_json"))
+            yield entry, ScenarioResult.from_dict(json.loads(result_json))
+
+    def metric_rows(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """One flat row per (completed point, scheme): axes + metric columns.
+
+        The report layer's working set — every row carries the point's axis
+        coordinates plus that scheme's scalar metrics, ready to filter,
+        group and export.
+        """
+        rows = self._connection.execute(
+            "SELECT p.point_index, p.name, p.config_hash, p.axes_json, "
+            "m.scheme, m.metric, m.value "
+            "FROM points p JOIN metrics m USING (config_hash) "
+            "WHERE p.campaign_id = ? AND p.status = 'done' "
+            "ORDER BY p.point_index, m.scheme, m.metric",
+            (campaign_id,),
+        )
+        flattened: Dict[Tuple[int, str], Dict[str, Any]] = {}
+        for row in rows:
+            key = (row["point_index"], row["scheme"])
+            entry = flattened.get(key)
+            if entry is None:
+                entry = {
+                    "point_index": row["point_index"],
+                    "point": row["name"],
+                    "config_hash": row["config_hash"],
+                    "scheme": row["scheme"],
+                }
+                entry.update(json.loads(row["axes_json"]))
+                flattened[key] = entry
+            entry[row["metric"]] = row["value"]
+        return [flattened[key] for key in sorted(flattened)]
+
+    def metric_names(self, campaign_id: str) -> List[str]:
+        """Every metric recorded for a campaign (for input validation)."""
+        rows = self._connection.execute(
+            "SELECT DISTINCT m.metric FROM points p JOIN metrics m "
+            "USING (config_hash) WHERE p.campaign_id = ? ORDER BY m.metric",
+            (campaign_id,),
+        )
+        return [row["metric"] for row in rows]
+
+    def canonical_dump(self, campaign_id: str) -> Dict[str, Any]:
+        """A deterministic view of a campaign's stored state.
+
+        Strips every wall-clock field (point timings, timestamps, the
+        per-step compute series inside results) so that an interrupted-and-
+        resumed campaign compares bit-for-bit equal to an uninterrupted
+        serial run of the same grid.
+        """
+        campaign = self._connection.execute(
+            "SELECT campaign_id, name, spec_json, num_points FROM campaigns "
+            "WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if campaign is None:
+            raise ConfigurationError(f"campaign {campaign_id!r} is not in the store")
+        points = self._connection.execute(
+            "SELECT config_hash, point_index, name, axes_json, spec_json, "
+            "status, error FROM points WHERE campaign_id = ? ORDER BY point_index",
+            (campaign_id,),
+        ).fetchall()
+        result_rows = self._connection.execute(
+            "SELECT p.config_hash, r.result_json FROM points p "
+            "JOIN results r USING (config_hash) WHERE p.campaign_id = ?",
+            (campaign_id,),
+        )
+        results: Dict[str, Any] = {
+            row["config_hash"]: canonical_result_dict(json.loads(row["result_json"]))
+            for row in result_rows
+        }
+        return {
+            "campaign": dict(campaign),
+            "points": [dict(row) for row in points],
+            "results": results,
+        }
+
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "CampaignStore",
+    "canonical_result_dict",
+]

@@ -9,17 +9,22 @@ results either way.  Every point can be cached to disk keyed by a stable
 hash of its function reference and parameters, so re-running a sweep (or a
 benchmark driver) only pays for points whose configuration changed.
 
-Three layers use this module:
+Four layers use this module:
 
 * the ``fig*`` experiment drivers fan their internal scenario points out
   through a sweep (``run_fig4(parallel=True)`` etc.),
 * the :mod:`benchmarks` drivers thread optional ``parallel``/``cache_dir``
-  settings through to those drivers, and
+  settings through to those drivers,
+* the campaign subsystem (:mod:`repro.campaign`) executes expanded scenario
+  grids through the error-isolating chunked backend
+  (:func:`iter_outcome_chunks` / :class:`PointOutcome`), persisting every
+  chunk into its SQLite results store, and
 * the command line: ``python -m repro.experiments fig4 fig7`` runs whole
-  figures as sweep points, ``python -m repro.experiments run-scenario``
-  executes a declarative :class:`~repro.scenario.spec.ScenarioSpec` (cached
-  by its config hash) and ``list-components`` shows the registered scenario
-  building blocks (see :func:`main`).
+  figures as sweep points, ``run-scenario`` executes a declarative
+  :class:`~repro.scenario.spec.ScenarioSpec` (cached by its config hash),
+  ``list-components`` shows the registered scenario building blocks and
+  ``run-campaign``/``campaign-status``/``campaign-report`` drive scenario
+  grids end to end (see :func:`main`).
 """
 
 from __future__ import annotations
@@ -31,10 +36,13 @@ import importlib
 import inspect
 import itertools
 import json
+import logging
 import os
 import pickle
 import re
 import tempfile
+import time
+import traceback
 from dataclasses import dataclass
 from multiprocessing import cpu_count, get_all_start_methods, get_context
 from pathlib import Path as FilePath
@@ -43,6 +51,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -54,6 +63,8 @@ from typing import (
 import numpy as np
 
 from ..exceptions import ConfigurationError
+
+_LOGGER = logging.getLogger(__name__)
 
 #: Bump to invalidate every cached sweep point after incompatible changes.
 #: Version 2: NumPy scalars/arrays and nested dataclasses canonicalise like
@@ -248,8 +259,19 @@ def execute_point(
         try:
             with open(cache_path, "rb") as handle:
                 return pickle.load(handle)
-        except Exception:
-            cache_path.unlink(missing_ok=True)  # corrupt entry: recompute
+        except Exception as error:
+            # A corrupt or truncated entry (killed writer, disk trouble,
+            # unpicklable class change) must never sink the sweep: drop the
+            # entry, say so, and recompute the point.
+            _LOGGER.warning(
+                "discarding corrupt sweep cache entry %s for point %r (%s: %s); "
+                "recomputing",
+                cache_path,
+                sweep_point.label,
+                type(error).__name__,
+                error,
+            )
+            cache_path.unlink(missing_ok=True)
     result = resolve_function(sweep_point.function)(**sweep_point.kwargs())
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
@@ -268,6 +290,99 @@ def execute_point(
                 pass
             raise
     return result
+
+
+@dataclass
+class PointOutcome:
+    """The error-isolated result of executing one sweep point.
+
+    Where :func:`execute_point` propagates exceptions (one bad point sinks
+    the whole sweep), an outcome captures them: batch drivers such as the
+    campaign runner record the failure and keep going.
+
+    Attributes:
+        point: The executed sweep point.
+        value: The point function's return value (``None`` on failure).
+        error: The formatted traceback of the failure, ``None`` on success.
+        elapsed_s: Wall-clock execution time of the point.
+    """
+
+    point: SweepPoint
+    value: Any = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point executed without raising."""
+        return self.error is None
+
+
+def execute_point_outcome(
+    sweep_point: SweepPoint, cache_dir: Optional[Union[str, os.PathLike]] = None
+) -> PointOutcome:
+    """Run one point, capturing failure and timing instead of raising.
+
+    Like :func:`execute_point` this is the single code path for serial and
+    parallel execution (workers run it directly), but it never raises: a
+    failing point yields an outcome whose ``error`` holds the traceback, so
+    the remaining points of a batch still run.
+    """
+    start = time.perf_counter()
+    try:
+        value = execute_point(sweep_point, cache_dir)
+    except Exception:
+        return PointOutcome(
+            point=sweep_point,
+            error=traceback.format_exc(),
+            elapsed_s=time.perf_counter() - start,
+        )
+    return PointOutcome(
+        point=sweep_point, value=value, elapsed_s=time.perf_counter() - start
+    )
+
+
+def iter_outcome_chunks(
+    points: Sequence[SweepPoint],
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Iterator[List[PointOutcome]]:
+    """Execute points in chunks, yielding each chunk's outcomes as it lands.
+
+    This is the reusable batch backend behind campaign execution: callers
+    persist every yielded chunk before the next one starts, so interrupting
+    the process loses at most one in-flight chunk.  Chunks run over a single
+    ``fork`` process pool when *parallel* is set (with the same serial
+    fallback as :meth:`Sweep.run`); serial execution defaults to
+    chunks of one — every completed point is durable immediately.
+
+    Outcomes preserve point order within and across chunks.
+    """
+    remaining = list(points)
+    if not remaining:
+        return
+    if parallel and len(remaining) > 1 and "fork" in get_all_start_methods():
+        pool_size = processes or min(len(remaining), cpu_count())
+        size = pool_size if chunk_size is None else chunk_size
+        if size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {size}")
+        context = get_context("fork")
+        with context.Pool(processes=pool_size) as pool:
+            for start in range(0, len(remaining), size):
+                chunk = remaining[start : start + size]
+                yield pool.starmap(
+                    execute_point_outcome,
+                    [(sweep_point, cache_dir) for sweep_point in chunk],
+                )
+        return
+    size = 1 if chunk_size is None else chunk_size
+    if size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {size}")
+    for start in range(0, len(remaining), size):
+        chunk = remaining[start : start + size]
+        yield [execute_point_outcome(sweep_point, cache_dir) for sweep_point in chunk]
 
 
 class Sweep:
@@ -376,24 +491,31 @@ def _parse_setting_value(text: str) -> Any:
         return text
 
 
-def _apply_setting(
-    data: Dict[str, Any], setting: str, parser: argparse.ArgumentParser
-) -> None:
-    """Apply one ``SECTION.KEY=VALUE`` override to a scenario spec dict."""
-    target, separator, value_text = setting.partition("=")
+def apply_spec_setting(data: Dict[str, Any], target: str, value: Any) -> None:
+    """Apply one ``SECTION.KEY`` override to a scenario spec dict, in place.
+
+    This is the shared implementation behind the ``run-scenario --set`` flag
+    and campaign parameter axes.  *target* addresses ``scenario.<field>``,
+    a component section's parameter (``traffic.num_pairs``), one event's
+    parameter (``events.0.time_s``) or a scheme's parameter by its label
+    (``response.num_paths``).
+
+    Raises:
+        ConfigurationError: If the target does not address the spec.
+    """
     section, dot, key = target.partition(".")
-    if not separator or not dot or not key:
-        parser.error(f"--set expects SECTION.KEY=VALUE, got {setting!r}")
-    value = _parse_setting_value(value_text)
+    if not dot or not key:
+        raise ConfigurationError(
+            f"setting target must look like SECTION.KEY, got {target!r}"
+        )
     if section == "scenario":
         data[key] = value
         return
     if section in ("topology", "traffic", "power", "routing"):
         entry = data.get(section)
         if entry is None:
-            parser.error(
-                f"--set {setting}: the spec has no {section} section yet "
-                f"(give --{section} or a --spec file first)"
+            raise ConfigurationError(
+                f"setting {target!r}: the spec has no {section} section yet"
             )
         if isinstance(entry, str):
             entry = {"name": entry, "params": {}}
@@ -401,19 +523,19 @@ def _apply_setting(
         data[section] = entry
         return
     if section == "events":
-        # events.<index>.<param>=VALUE targets one entry of the events list.
+        # events.<index>.<param> targets one entry of the events list.
         index_text, dot, param = key.partition(".")
         events = data.get("events", [])
         if not dot or not param or not index_text.isdigit():
-            parser.error(
-                f"--set {setting}: events overrides look like "
-                "events.<index>.<param>=VALUE (e.g. --set events.0.time_s=900)"
+            raise ConfigurationError(
+                f"setting {target!r}: events overrides look like "
+                "events.<index>.<param> (e.g. events.0.time_s)"
             )
         index = int(index_text)
         if index >= len(events):
-            parser.error(
-                f"--set {setting}: the spec has {len(events)} event(s); "
-                f"index {index} is out of range (add --event NAME first)"
+            raise ConfigurationError(
+                f"setting {target!r}: the spec has {len(events)} event(s); "
+                f"index {index} is out of range"
             )
         event = events[index]
         if isinstance(event, str):
@@ -432,10 +554,35 @@ def _apply_setting(
         scheme.setdefault("params", {})[key] = value
         data["schemes"][index] = scheme
         return
-    parser.error(
-        f"--set {setting}: {section!r} is neither a spec section "
+    raise ConfigurationError(
+        f"setting {target!r}: {section!r} is neither a spec section "
         "(scenario/topology/traffic/power/routing/events) nor a scheme label"
     )
+
+
+def _apply_setting(
+    data: Dict[str, Any], setting: str, parser: argparse.ArgumentParser
+) -> None:
+    """Apply one ``SECTION.KEY=VALUE`` CLI override to a scenario spec dict.
+
+    Wraps :func:`apply_spec_setting`, augmenting its generic errors with
+    the run-scenario flag that fixes them.
+    """
+    target, separator, value_text = setting.partition("=")
+    if not separator:
+        parser.error(f"--set expects SECTION.KEY=VALUE, got {setting!r}")
+    try:
+        apply_spec_setting(data, target, _parse_setting_value(value_text))
+    except ConfigurationError as error:
+        message = str(error)
+        if "section yet" in message:
+            section = target.partition(".")[0]
+            message += f" (give --{section} or a --spec file first)"
+        elif "out of range" in message:
+            message += " (add --event NAME first)"
+        elif "events overrides look like" in message:
+            message += " (e.g. --set events.0.time_s=900)"
+        parser.error(f"--set {setting}: {message}")
 
 
 def _run_scenario_command(argv: Sequence[str]) -> int:
@@ -567,23 +714,44 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
 
 
 def _list_components_command(argv: Sequence[str]) -> int:
-    """``list-components``: show every registered scenario component."""
+    """``list-components``: show every registered scenario component.
+
+    Every registry kind is enumerated — including the dynamic ``event``
+    kinds — so each axis of a campaign spec (topologies, traffic models,
+    schemes, event schedules) is discoverable from the command line; with
+    ``--json`` the listing is machine-readable for campaign tooling.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments list-components",
-        description="List the registered scenario components per kind.",
+        description=(
+            "List the registered scenario components per kind "
+            "(topology/traffic/power/routing/scheme/event — every axis a "
+            "scenario or campaign spec can name)."
+        ),
     )
     parser.add_argument(
         "--kind",
         choices=("topology", "traffic", "power", "routing", "scheme", "event"),
         help="only this component kind",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the listing as JSON ({kind: [names...]})",
+    )
     args = parser.parse_args(argv)
 
     from ..scenario import registered_components, resolve
 
-    for kind, names in registered_components().items():
-        if args.kind and kind != args.kind:
-            continue
+    listing = {
+        kind: names
+        for kind, names in registered_components().items()
+        if not args.kind or kind == args.kind
+    }
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    for kind, names in listing.items():
         print(f"{kind}:")
         for name in names:
             doc = inspect.getdoc(resolve(kind, name)) or ""
@@ -601,13 +769,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_scenario_command(arguments[1:])
     if arguments and arguments[0] == "list-components":
         return _list_components_command(arguments[1:])
+    if arguments and arguments[0] in (
+        "run-campaign",
+        "campaign-status",
+        "campaign-report",
+    ):
+        # Deferred import: plain figure sweeps stay campaign-free.
+        from ..campaign.cli import campaign_command
+
+        return campaign_command(arguments[0], arguments[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description=(
             "Run figure reproductions, optionally in parallel with caching. "
             "Subcommands: 'run-scenario' executes a declarative scenario "
-            "spec, 'list-components' shows the registered building blocks."
+            "spec, 'list-components' shows the registered building blocks, "
+            "'run-campaign'/'campaign-status'/'campaign-report' drive "
+            "declarative scenario grids with a persistent results store."
         ),
     )
     parser.add_argument(

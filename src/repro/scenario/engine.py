@@ -140,6 +140,40 @@ class ScenarioResult:
             for label in self.labels()
         }
 
+    def headline_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Flattened per-scheme scalar metrics for stores and reports.
+
+        Extends :meth:`summary` with the utilisation/SLO and timing series
+        reduced to scalars — the rows the campaign store's ``metrics`` table
+        holds, so whole grids aggregate without re-parsing result JSON.
+        Only metrics the scheme actually tracked appear (e.g. no
+        ``peak_utilisation`` for schemes without a utilisation series).
+        """
+        metrics: Dict[str, Dict[str, float]] = {}
+        for label in self.labels():
+            entry = {
+                "mean_power_percent": self.mean_power_percent(label),
+                "mean_savings_percent": self.mean_savings_percent(label),
+                "recomputations": float(self.recomputations.get(label, 0)),
+            }
+            utilisation = self.max_utilisation.get(label)
+            if utilisation:
+                entry["peak_utilisation"] = max(utilisation)
+            violations = self.violations.get(label)
+            if violations is not None:
+                entry["violation_intervals"] = float(sum(violations))
+            compute = self.compute_seconds.get(label)
+            if compute:
+                # Wall-clock: useful for latency reports, excluded from
+                # determinism-sensitive store comparisons.
+                entry["mean_compute_s"] = sum(compute) / len(compute)
+                entry["total_compute_s"] = sum(compute)
+            reactions = self.reaction.get(label)
+            if reactions:
+                entry["reaction_events"] = float(len(reactions))
+            metrics[label] = entry
+        return metrics
+
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready view of the result."""
         return {

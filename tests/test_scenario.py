@@ -316,9 +316,52 @@ def test_cached_candidates_reset_on_new_topology():
 def test_cli_list_components(capsys):
     assert main(["list-components"]) == 0
     output = capsys.readouterr().out
-    for kind in ("topology:", "traffic:", "power:", "routing:", "scheme:"):
+    for kind in ("topology:", "traffic:", "power:", "routing:", "scheme:", "event:"):
         assert kind in output
     assert "fattree" in output and "response" in output
+    # Event kinds are enumerated so campaign event-schedule axes are
+    # discoverable alongside the other component kinds.
+    assert "link-failure" in output and "traffic-surge" in output
+
+
+def test_cli_list_components_json(capsys):
+    import json as json_module
+
+    assert main(["list-components", "--json"]) == 0
+    listing = json_module.loads(capsys.readouterr().out)
+    assert set(listing) == {"topology", "traffic", "power", "routing", "scheme", "event"}
+    assert "link-failure" in listing["event"]
+    assert "response" in listing["scheme"]
+    assert main(["list-components", "--json", "--kind", "event"]) == 0
+    only_events = json_module.loads(capsys.readouterr().out)
+    assert set(only_events) == {"event"}
+
+
+def test_scenario_result_from_dict_tolerates_pre_events_rows():
+    """Rows stored before the events axis existed must still load."""
+    from repro.scenario import ScenarioResult
+
+    legacy = {
+        "name": "legacy",
+        "config_hash": "f00d" * 16,
+        "times_s": [0.0, 900.0],
+        "power_percent": {"response": [40.0, 50.0]},
+        "recomputations": {"response": 1},
+        "max_utilisation": {"response": [0.4, 0.5]},
+        # No spec/events/compute_seconds/violations/reaction fields.
+    }
+    result = ScenarioResult.from_dict(legacy)
+    assert result.mean_power_percent("response") == 45.0
+    assert result.events == []
+    assert result.compute_seconds == {}
+    assert result.violations == {}
+    assert result.reaction == {}
+    assert result.spec == {}
+    # headline_metrics still works without the newer series.
+    metrics = result.headline_metrics()["response"]
+    assert metrics["recomputations"] == 1.0
+    assert metrics["peak_utilisation"] == 0.5
+    assert "mean_compute_s" not in metrics
 
 
 def test_cli_run_scenario_from_json_spec_hits_cache(tmp_path, capsys):

@@ -1,13 +1,20 @@
 """Tests for the sweep runner: caching, parallel/serial equality, hashing."""
 
+import logging
+import pickle
+
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.runner import (
     FIGURE_REGISTRY,
     Sweep,
+    _cache_file,
+    apply_spec_setting,
+    execute_point_outcome,
     function_reference,
     grid,
+    iter_outcome_chunks,
     main,
     point,
     resolve_function,
@@ -17,6 +24,12 @@ from repro.experiments.runner import (
 
 # Module-level point functions: sweep points must be importable by workers.
 def _square(value):
+    return value * value
+
+
+def _square_or_boom(value):
+    if value < 0:
+        raise ValueError(f"no negatives: {value}")
     return value * value
 
 
@@ -191,6 +204,83 @@ def test_run_labelled_requires_unique_labels():
     with pytest.raises(ConfigurationError):
         sweep.run_labelled()
     assert sweep.run() == [1, 4]
+
+
+def test_corrupt_cache_entry_logs_and_recomputes(tmp_path, caplog):
+    """A truncated/garbage per-point pickle must not sink the sweep."""
+    sweep = Sweep(cache_dir=tmp_path).add(_square, label="4", value=4)
+    assert sweep.run() == [16]
+
+    cache_path = _cache_file(tmp_path, sweep.points[0])
+    assert cache_path.exists()
+    cache_path.write_bytes(b"this is not a pickle")
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
+        assert sweep.run() == [16]  # recomputed, not crashed
+    assert any("corrupt sweep cache entry" in record.message for record in caplog.records)
+    with open(cache_path, "rb") as handle:  # the entry was rewritten intact
+        assert pickle.load(handle) == 16
+
+    # Truncated mid-write (e.g. a killed process): same recovery.
+    cache_path.write_bytes(pickle.dumps(16)[:3])
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
+        assert sweep.run() == [16]
+    assert any("recomputing" in record.message for record in caplog.records)
+
+
+# --------------------------------------------------------------------- #
+# Error-isolating outcome backend
+# --------------------------------------------------------------------- #
+def test_execute_point_outcome_captures_error_and_timing():
+    good = execute_point_outcome(point(_square_or_boom, value=3))
+    assert good.ok and good.value == 9 and good.error is None
+    assert good.elapsed_s >= 0.0
+    bad = execute_point_outcome(point(_square_or_boom, value=-1))
+    assert not bad.ok and bad.value is None
+    assert "ValueError" in bad.error and "no negatives" in bad.error
+
+
+def test_iter_outcome_chunks_preserves_order_and_isolates_failures():
+    points = [point(_square_or_boom, label=str(v), value=v) for v in (2, -1, 3, 4)]
+    chunks = list(iter_outcome_chunks(points, chunk_size=3))
+    assert [len(chunk) for chunk in chunks] == [3, 1]
+    outcomes = [outcome for chunk in chunks for outcome in chunk]
+    assert [outcome.ok for outcome in outcomes] == [True, False, True, True]
+    assert [outcome.value for outcome in outcomes] == [4, None, 9, 16]
+
+    # Serial default: one point per chunk (maximum durability granularity).
+    assert [len(chunk) for chunk in iter_outcome_chunks(points)] == [1, 1, 1, 1]
+
+    # Parallel execution yields the same outcomes in the same order.
+    parallel = [
+        outcome
+        for chunk in iter_outcome_chunks(points, parallel=True, processes=2, chunk_size=2)
+        for outcome in chunk
+    ]
+    assert [outcome.value for outcome in parallel] == [4, None, 9, 16]
+    assert "ValueError" in parallel[1].error
+
+    with pytest.raises(ConfigurationError):
+        list(iter_outcome_chunks(points, chunk_size=0))
+    assert list(iter_outcome_chunks([])) == []
+
+
+def test_apply_spec_setting_targets_and_errors():
+    data = {"topology": "geant", "schemes": ["response"]}
+    apply_spec_setting(data, "scenario.name", "renamed")
+    assert data["name"] == "renamed"
+    apply_spec_setting(data, "topology.k", 4)
+    assert data["topology"] == {"name": "geant", "params": {"k": 4}}
+    apply_spec_setting(data, "response.num_paths", 3)
+    assert data["schemes"][0] == {"name": "response", "params": {"num_paths": 3}}
+    with pytest.raises(ConfigurationError):
+        apply_spec_setting(data, "traffic.num_pairs", 4)  # no traffic section
+    with pytest.raises(ConfigurationError):
+        apply_spec_setting(data, "nonsense", 1)  # no SECTION.KEY shape
+    with pytest.raises(ConfigurationError):
+        apply_spec_setting(data, "events.0.time_s", 1.0)  # no events yet
+    with pytest.raises(ConfigurationError):
+        apply_spec_setting(data, "unknown-label.x", 1)
 
 
 # --------------------------------------------------------------------- #
