@@ -1,0 +1,155 @@
+"""Multi-worker campaign drains — points/s scaling and serial identity.
+
+Runs the same 24-point grid as ``bench_campaign.py`` (GÉANT × calibrated
+gravity × REsPoNse/GreenTE/ECMP over seeds, pair counts, demand totals and
+the utilisation SLO) through the lease-based worker protocol at three
+fleet sizes:
+
+* **serial** — the plain single-process baseline (no leases),
+* **1 worker** — the lease protocol's overhead floor, and
+* **2 and 4 workers** — cooperating processes draining one shared store.
+
+Every drain must finish the grid with zero lock errors and produce a
+``canonical_dump`` bit-identical to the serial store — the concurrency
+machinery may never change the science.  Points/s per fleet size lands in
+``BENCH_campaign_workers.json``.
+
+The scaling gate (4 workers ≥ 1.5× one worker) only applies on multi-core
+machines and can be relaxed with
+``CAMPAIGN_WORKERS_BENCH_SKIP_SPEEDUP_GATE=1`` (shared CI runners); the
+identity and zero-failure assertions always hold.
+
+Also runnable standalone (writes the baseline JSON):
+
+    PYTHONPATH=src python benchmarks/bench_campaign_workers.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from multiprocessing import cpu_count
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign, run_campaign_workers
+
+#: Four workers must beat one by this factor (multi-core machines only).
+SPEEDUP_FLOOR = 1.5
+
+#: Fleet sizes measured against the single-worker baseline.
+FLEET_SIZES = (1, 2, 4)
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_campaign_workers.json"
+
+
+def campaign_spec() -> CampaignSpec:
+    """The 24-point grid: 3 seeds x 2 pair counts x 2 totals x 2 SLOs."""
+    return CampaignSpec.from_dict(
+        {
+            "name": "bench-worker-grid",
+            "base": {
+                "topology": "geant",
+                "traffic": {
+                    "name": "gravity",
+                    "params": {
+                        "num_endpoints": 8,
+                        "calibrate": True,
+                        "levels": [0.25, 0.5, 1.0],
+                    },
+                },
+                "power": "cisco",
+                "schemes": [
+                    {"name": "response", "params": {"num_paths": 3, "k": 3}},
+                    {"name": "greente", "params": {}},
+                    {"name": "ecmp", "params": {}},
+                ],
+            },
+            "axes": {
+                "seed": [0, 1, 2],
+                "set": {
+                    "traffic.num_pairs": [8, 12],
+                    "traffic.total_traffic_bps": [1e9, 2e9],
+                    "scenario.utilisation_threshold": [0.85, 0.9],
+                },
+            },
+        }
+    )
+
+
+def measure() -> Dict[str, Any]:
+    """Serial baseline plus 1/2/4-worker drains of fresh shared stores."""
+    spec = campaign_spec()
+    grid_size = spec.grid_size()
+    results: Dict[str, Any] = {"grid_points": float(grid_size), "cpus": float(cpu_count())}
+    with tempfile.TemporaryDirectory() as workdir:
+        serial_store = os.path.join(workdir, "serial.sqlite")
+        serial = run_campaign(spec, store_path=serial_store)
+        with CampaignStore(serial_store, read_only=True) as store:
+            serial_dump = store.canonical_dump(serial.campaign_id)
+        results["serial_s"] = serial.elapsed_s
+        results["points_per_s_serial"] = serial.points_per_second
+        results["serial_failed"] = float(serial.failed)
+
+        for workers in FLEET_SIZES:
+            store_path = os.path.join(workdir, f"workers{workers}.sqlite")
+            fleet = run_campaign_workers(spec, store_path=store_path, workers=workers)
+            with CampaignStore(store_path, read_only=True) as store:
+                dump = store.canonical_dump(fleet.campaign_id)
+            results[f"workers{workers}_s"] = fleet.elapsed_s
+            results[f"points_per_s_workers{workers}"] = fleet.points_per_second
+            results[f"workers{workers}_failed"] = float(fleet.failed)
+            results[f"workers{workers}_remaining"] = float(fleet.remaining)
+            results[f"workers{workers}_store_identical"] = float(dump == serial_dump)
+
+    one = results["points_per_s_workers1"]
+    results["scaling_2_workers"] = results["points_per_s_workers2"] / one if one else 0.0
+    results["scaling_4_workers"] = results["points_per_s_workers4"] / one if one else 0.0
+    return results
+
+
+def _check(results: Dict[str, Any]) -> None:
+    """The always-on invariants of a healthy multi-worker drain."""
+    assert results["serial_failed"] == 0.0
+    for workers in FLEET_SIZES:
+        assert results[f"workers{workers}_failed"] == 0.0
+        assert results[f"workers{workers}_remaining"] == 0.0
+        assert results[f"workers{workers}_store_identical"] == 1.0
+
+
+def _gate_speedup(results: Dict[str, Any]) -> bool:
+    """Whether the 4-worker scaling floor applies in this environment."""
+    if os.environ.get("CAMPAIGN_WORKERS_BENCH_SKIP_SPEEDUP_GATE"):
+        return False
+    return results["cpus"] > 1
+
+
+def test_campaign_worker_scaling_and_identity(benchmark, run_once):
+    results = run_once(measure)
+    for key, value in results.items():
+        benchmark.extra_info[key] = round(value, 4)
+    _check(results)
+    if _gate_speedup(results):
+        assert results["scaling_4_workers"] >= SPEEDUP_FLOOR, (
+            f"4 workers only {results['scaling_4_workers']:.2f}x one worker "
+            f"on {int(results['cpus'])} CPUs (floor: {SPEEDUP_FLOOR}x)"
+        )
+
+
+if __name__ == "__main__":
+    outcome = measure()
+    BASELINE_PATH.write_text(json.dumps(outcome, indent=2, sort_keys=True) + "\n")
+    for key, value in outcome.items():
+        print(f"{key}: {value:.4f}")
+    _check(outcome)
+    if _gate_speedup(outcome) and outcome["scaling_4_workers"] < SPEEDUP_FLOOR:
+        print(f"FAIL: 4-worker scaling below {SPEEDUP_FLOOR}x")
+        raise SystemExit(1)
+    print(
+        f"OK: {int(outcome['grid_points'])}-point grid at "
+        f"{outcome['points_per_s_workers1']:.2f} points/s with 1 worker, "
+        f"{outcome['points_per_s_workers4']:.2f} points/s with 4 "
+        f"({outcome['scaling_4_workers']:.2f}x); every drain bit-identical "
+        f"to the serial store; baseline written to {BASELINE_PATH.name}"
+    )

@@ -10,8 +10,13 @@ JSON document and one resumable command:
 * :class:`~repro.campaign.store.CampaignStore` — a SQLite store (campaigns,
   points, results, metrics) keyed by config hash, so completed points are
   never recomputed and a killed run loses at most one in-flight chunk.
+  Multi-process safe: WAL + busy timeout, atomic chunk transactions,
+  read-only connections and a lease protocol for cooperative workers.
 * :func:`~repro.campaign.run.run_campaign` — executes the missing points
-  through the sweep runner's error-isolating chunked process-pool backend.
+  through the sweep runner's error-isolating chunked process-pool backend
+  (or, with ``worker_id``, joins a shared drain as one lease-holding
+  worker); :func:`~repro.campaign.run.run_campaign_workers` forks N such
+  workers that drain one grid together with crash recovery.
 * :mod:`~repro.campaign.report` — filter/aggregate stored rows, per-scheme
   summary tables, scheme dominance and deviation-from-best over the grid
   (via :mod:`repro.analysis`), CSV/JSON export.
@@ -19,6 +24,7 @@ JSON document and one resumable command:
 Command line::
 
     python -m repro.experiments run-campaign --spec campaign.json --store results.sqlite
+    python -m repro.experiments run-campaign --spec campaign.json --store results.sqlite --workers 4
     python -m repro.experiments campaign-status --store results.sqlite
     python -m repro.experiments campaign-report --store results.sqlite --format csv
 """
@@ -34,19 +40,31 @@ from .report import (
     scheme_dominance,
     summarise,
 )
-from .run import CampaignRunSummary, run_campaign
+from .run import (
+    DEFAULT_LEASE_SECONDS,
+    CampaignRunSummary,
+    run_campaign,
+    run_campaign_workers,
+)
 from .spec import AXIS_KEYS, CAMPAIGN_SCHEMA_VERSION, CampaignPoint, CampaignSpec
-from .store import STORE_SCHEMA_VERSION, CampaignStore, canonical_result_dict
+from .store import (
+    STORE_SCHEMA_VERSION,
+    CampaignStore,
+    PointRecord,
+    canonical_result_dict,
+)
 
 __all__ = [
     "AXIS_KEYS",
     "CAMPAIGN_SCHEMA_VERSION",
+    "DEFAULT_LEASE_SECONDS",
     "LOWER_IS_BETTER",
     "STORE_SCHEMA_VERSION",
     "CampaignPoint",
     "CampaignRunSummary",
     "CampaignSpec",
     "CampaignStore",
+    "PointRecord",
     "canonical_result_dict",
     "deviation_from_best",
     "filter_rows",
@@ -55,6 +73,7 @@ __all__ = [
     "rows_to_csv",
     "rows_to_json",
     "run_campaign",
+    "run_campaign_workers",
     "scheme_dominance",
     "summarise",
 ]

@@ -3,8 +3,10 @@
 Dispatched from ``python -m repro.experiments``:
 
 * ``run-campaign`` — expand a campaign spec and execute (or resume) it
-  against a SQLite results store.
-* ``campaign-status`` — show stored campaigns and their point statuses.
+  against a SQLite results store; ``--workers N`` forks N cooperative
+  lease-holding workers, ``--worker-id`` joins a shared drain by hand.
+* ``campaign-status`` — show stored campaigns, their point statuses and
+  any live worker leases (opens the store read-only).
 * ``campaign-report`` — aggregate stored results (summary tables, scheme
   dominance, deviation-from-best) and export metric rows as CSV/JSON.
 """
@@ -28,7 +30,7 @@ from .report import (
     scheme_dominance,
     summarise,
 )
-from .run import run_campaign
+from .run import DEFAULT_LEASE_SECONDS, run_campaign, run_campaign_workers
 from .spec import CampaignSpec
 from .store import CampaignStore
 
@@ -67,10 +69,41 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
     parser.add_argument("--parallel", action="store_true", help="fan out over processes")
     parser.add_argument("--processes", type=int, default=None, help="pool size")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fork N cooperative workers that drain the grid together via "
+            "store leases (crash-safe: a killed worker's points are "
+            "reclaimed by the others)"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help=(
+            "join the campaign as one cooperative worker under this "
+            "identity (run the same command with distinct ids on several "
+            "terminals or hosts sharing the store file)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        metavar="S",
+        help=(
+            "worker mode: how long a claimed batch stays leased without "
+            "renewal before peers may reclaim it (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
-        help="points persisted per batch (durability granularity)",
+        help="points persisted per batch (durability/lease granularity)",
     )
     parser.add_argument(
         "--max-points",
@@ -86,17 +119,54 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     args = parser.parse_args(argv)
 
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.lease_seconds <= 0:
+        parser.error(
+            f"--lease-seconds must be > 0, got {args.lease_seconds:g} "
+            "(a non-positive lease is born expired, so every worker would "
+            "claim the same points)"
+        )
+    exclusive = [
+        flag
+        for flag, given in (
+            ("--workers", args.workers is not None),
+            ("--worker-id", args.worker_id is not None),
+            ("--parallel", args.parallel),
+        )
+        if given
+    ]
+    if len(exclusive) > 1:
+        parser.error(
+            f"{' and '.join(exclusive)} are mutually exclusive: --parallel "
+            "pools point execution in one invocation, --workers forks "
+            "cooperating invocations, --worker-id joins as one of them"
+        )
+
     try:
         spec = _load_campaign_spec(args.spec)
-        summary = run_campaign(
-            spec,
-            store_path=args.store,
-            parallel=args.parallel,
-            processes=args.processes,
-            chunk_size=args.chunk_size,
-            max_points=args.max_points,
-            sweep_cache_dir=args.cache_dir,
-        )
+        if args.workers is not None:
+            summary = run_campaign_workers(
+                spec,
+                store_path=args.store,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                max_points=args.max_points,
+                sweep_cache_dir=args.cache_dir,
+                lease_seconds=args.lease_seconds,
+            )
+        else:
+            summary = run_campaign(
+                spec,
+                store_path=args.store,
+                parallel=args.parallel,
+                processes=args.processes,
+                chunk_size=args.chunk_size,
+                max_points=args.max_points,
+                sweep_cache_dir=args.cache_dir,
+                worker_id=args.worker_id,
+                lease_seconds=args.lease_seconds,
+            )
     except ConfigurationError as error:
         parser.error(str(error))
     if args.json:
@@ -104,6 +174,10 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
         return 1 if summary.failed else 0
     print(f"campaign: {summary.name} ({summary.campaign_id[:16]})")
     print(f"store: {summary.store_path}")
+    if summary.workers > 1:
+        print(f"workers: {summary.workers} (lease {args.lease_seconds:g}s)")
+    elif summary.worker_id is not None:
+        print(f"worker: {summary.worker_id} (lease {args.lease_seconds:g}s)")
     print(
         f"points: {summary.total_points} total, "
         f"{summary.completed_before} already done "
@@ -112,10 +186,15 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
         f"{summary.remaining} remaining"
     )
     if summary.executed:
+        if summary.workers > 1:
+            mode = f"{summary.workers} workers"
+        elif summary.worker_id is not None:
+            mode = "worker"
+        else:
+            mode = "parallel" if summary.parallel else "serial"
         print(
             f"elapsed: {summary.elapsed_s:.2f}s "
-            f"({summary.points_per_second:.2f} points/s, "
-            f"{'parallel' if summary.parallel else 'serial'})"
+            f"({summary.points_per_second:.2f} points/s, {mode})"
         )
     for error in summary.errors:
         print(f"  FAILED {error}")
@@ -136,10 +215,16 @@ def _campaign_status_command(argv: Sequence[str]) -> int:
     _require_store(args.store, parser)
 
     try:
-        with CampaignStore(args.store) as store:
+        # Read-only: status must never contend with (or mutate) a store a
+        # live run-campaign is writing.
+        with CampaignStore(args.store, read_only=True) as store:
             campaigns = store.campaigns()
             if not campaigns:
                 parser.error(f"campaign store {args.store} holds no campaigns")
+            leases = {
+                row["campaign_id"]: store.active_leases(row["campaign_id"])
+                for row in campaigns
+            }
             detail: Optional[List[Dict[str, Any]]] = None
             selected: Optional[Dict[str, Any]] = None
             if args.campaign is not None:
@@ -149,7 +234,11 @@ def _campaign_status_command(argv: Sequence[str]) -> int:
         parser.error(str(error))
 
     if args.json:
-        payload: Dict[str, Any] = {"store": args.store, "campaigns": campaigns}
+        payload: Dict[str, Any] = {
+            "store": args.store,
+            "campaigns": campaigns,
+            "leases": leases,
+        }
         if detail is not None:
             payload["points"] = detail
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -168,6 +257,12 @@ def _campaign_status_command(argv: Sequence[str]) -> int:
         for row in campaigns
     ]
     print(format_table(rows))
+    for row in campaigns:
+        for lease in leases.get(row["campaign_id"], []):
+            print(
+                f"  lease: {lease['worker']} holds {lease['points']} point(s) "
+                f"of {row['name']} (expires in {lease['expires_in_s']:.0f}s)"
+            )
     if detail is not None and selected is not None:
         print(f"\npoints of {selected['name']} ({selected['campaign_id'][:12]}):")
         point_rows = []
@@ -227,7 +322,9 @@ def _campaign_report_command(argv: Sequence[str]) -> int:
     _require_store(args.store, parser)
 
     try:
-        with CampaignStore(args.store) as store:
+        # Read-only: reporting alongside a live run must never take (or
+        # wait on) write locks.
+        with CampaignStore(args.store, read_only=True) as store:
             campaign = store.find_campaign(args.campaign)
             known_metrics = store.metric_names(campaign["campaign_id"])
             if known_metrics and args.metric not in known_metrics:

@@ -5,10 +5,26 @@ into its grid, registers it in the :class:`~repro.campaign.store.CampaignStore`
 and executes only the points whose config hash has no stored result yet.
 Points run through :func:`repro.experiments.runner.iter_outcome_chunks` —
 the same process-pool fan-out the figure sweeps use, but with per-point
-error capture — and every chunk's outcomes are persisted before the next
-chunk starts.  Killing a run therefore loses at most one in-flight chunk,
-and re-invoking it completes exactly the missing points: the store ends up
-bit-for-bit identical (modulo wall-clock fields) to an uninterrupted run.
+error capture — and every chunk's outcomes are persisted in a **single
+transaction** before the next chunk starts.  Killing a run therefore loses
+at most one in-flight chunk (never part of one), and re-invoking it
+completes exactly the missing points: the store ends up bit-for-bit
+identical (modulo wall-clock fields) to an uninterrupted run.
+
+Multi-worker drains
+-------------------
+
+Passing ``worker_id`` switches :func:`run_campaign` into **cooperative
+worker mode**: instead of computing a pending list up-front, the worker
+repeatedly claims small batches of points from the store under a lease
+(:meth:`~repro.campaign.store.CampaignStore.claim_points`), executes them
+in-process while heartbeating the lease, and commits each batch
+atomically.  N such workers — separate invocations on separate terminals,
+or the :func:`run_campaign_workers` convenience that forks them — drain
+one grid together with no coordination beyond the store itself.  A worker
+that crashes simply stops renewing its lease; its points become claimable
+again once the lease expires, so the survivors finish the grid and the
+final store is bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -17,15 +33,30 @@ import logging
 import os
 import time
 from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..exceptions import ConfigurationError
-from ..experiments.runner import iter_outcome_chunks
+from ..experiments.runner import (
+    PointOutcome,
+    execute_point_outcome,
+    iter_outcome_chunks,
+    suggest_chunk_size,
+)
 from ..scenario.engine import ScenarioResult
 from .spec import CampaignPoint, CampaignSpec
-from .store import CampaignStore
+from .store import CampaignStore, PointRecord
 
 _LOGGER = logging.getLogger(__name__)
+
+#: How long a worker's claim on a batch of points lasts without renewal.
+#: Leases are renewed after every point execution, so this only needs to
+#: exceed the slowest single point by a margin.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: How long an idle worker sleeps before re-checking for claimable points
+#: (it only waits while peers still hold live leases on pending points).
+DEFAULT_POLL_SECONDS = 0.2
 
 
 @dataclass
@@ -45,9 +76,14 @@ class CampaignRunSummary:
         failed: How many of the executed points errored (recorded, not
             raised).
         remaining: Points still not done when this run returned (a
-            ``max_points`` bound or failures).
+            ``max_points`` bound, failures, or points other workers still
+            hold).
         elapsed_s: Wall-clock time spent executing points.
         parallel: Whether the run fanned out over worker processes.
+        workers: How many cooperating worker processes drained the grid
+            (1 for plain and single-worker invocations).
+        worker_id: This invocation's worker identity in the lease
+            protocol, ``None`` outside worker mode.
     """
 
     campaign_id: str
@@ -61,6 +97,8 @@ class CampaignRunSummary:
     remaining: int = 0
     elapsed_s: float = 0.0
     parallel: bool = False
+    workers: int = 1
+    worker_id: Optional[str] = None
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -85,6 +123,8 @@ class CampaignRunSummary:
             "elapsed_s": self.elapsed_s,
             "points_per_second": self.points_per_second,
             "parallel": self.parallel,
+            "workers": self.workers,
+            "worker_id": self.worker_id,
             "errors": list(self.errors),
         }
 
@@ -100,6 +140,99 @@ def _coerce_campaign(spec: Any) -> CampaignSpec:
     )
 
 
+def _outcome_record(point: CampaignPoint, outcome: PointOutcome) -> PointRecord:
+    """Turn one executed outcome into its persistable record.
+
+    Besides passing failures through, this guards the store's resume
+    bookkeeping: a result whose config hash disagrees with the expanded
+    point's would silently corrupt the idempotency key, so it is recorded
+    as a failure instead.
+    """
+    if not outcome.ok:
+        return PointRecord(
+            point=point, error=outcome.error, elapsed_s=outcome.elapsed_s
+        )
+    result = outcome.value
+    if not isinstance(result, ScenarioResult):
+        result = ScenarioResult.from_dict(result)
+    if result.config_hash != point.config_hash:
+        message = (
+            f"result config hash {result.config_hash} does not match "
+            f"the expanded point's {point.config_hash}"
+        )
+        return PointRecord(point=point, error=message, elapsed_s=outcome.elapsed_s)
+    return PointRecord(point=point, result=result, elapsed_s=outcome.elapsed_s)
+
+
+def _tally(summary: CampaignRunSummary, record: PointRecord) -> None:
+    """Fold one record into the invocation summary."""
+    summary.executed += 1
+    if record.error is not None:
+        summary.failed += 1
+        summary.errors.append(
+            f"{record.point.name}: {record.error.strip().splitlines()[-1]}"
+        )
+        _LOGGER.warning(
+            "campaign point %r failed:\n%s", record.point.name, record.error
+        )
+
+
+def _drain_as_worker(
+    store: CampaignStore,
+    campaign_id: str,
+    by_hash: Dict[str, CampaignPoint],
+    summary: CampaignRunSummary,
+    worker_id: str,
+    lease_seconds: float,
+    chunk_size: int,
+    max_points: Optional[int],
+    sweep_cache_dir: Optional[Union[str, os.PathLike]],
+    poll_seconds: float,
+) -> None:
+    """The cooperative drain loop of one lease-holding worker.
+
+    Claim a batch → execute it in-process (renewing the lease after every
+    point) → commit the batch in one transaction → repeat.  When nothing
+    is claimable but pending points remain, they are leased to peers: the
+    worker polls until they complete, error out, or their leases expire
+    (the crash-recovery path, where this worker reclaims them).
+    """
+    while True:
+        budget = None if max_points is None else max_points - summary.executed
+        if budget is not None and budget <= 0:
+            break
+        limit = chunk_size if budget is None else min(chunk_size, budget)
+        claimed = store.claim_points(campaign_id, worker_id, limit, lease_seconds)
+        if not claimed:
+            if store.status_counts(campaign_id)["pending"] == 0:
+                break
+            # Pending points exist but are leased to live peers.  Wait for
+            # them: they will finish, fail, or stop renewing (crash), and
+            # in every case this loop makes progress next iteration.
+            time.sleep(poll_seconds)
+            continue
+        records: List[PointRecord] = []
+        try:
+            for config_hash in claimed:
+                point = by_hash[config_hash]
+                outcome = execute_point_outcome(
+                    point.spec.sweep_point(), sweep_cache_dir
+                )
+                records.append(_outcome_record(point, outcome))
+                # Heartbeat between points: the lease only expires if this
+                # worker actually stops making progress.
+                store.renew_leases(campaign_id, worker_id, lease_seconds)
+            for record in records:
+                _tally(summary, record)
+            store.record_chunk(campaign_id, records)
+        except BaseException:
+            # Interrupted mid-batch: nothing of this batch was persisted
+            # (record_chunk is atomic), so hand the leases straight back
+            # instead of making peers wait out the expiry.
+            store.release_leases(campaign_id, worker_id)
+            raise
+
+
 def run_campaign(
     spec: Any,
     store_path: Union[str, os.PathLike],
@@ -108,32 +241,71 @@ def run_campaign(
     chunk_size: Optional[int] = None,
     max_points: Optional[int] = None,
     sweep_cache_dir: Optional[Union[str, os.PathLike]] = None,
+    worker_id: Optional[str] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    poll_seconds: float = DEFAULT_POLL_SECONDS,
+    reset_errors: bool = True,
 ) -> CampaignRunSummary:
     """Execute (or resume) a campaign against a results store.
 
     Args:
         spec: A :class:`CampaignSpec` or its dict form.
         store_path: The SQLite store file (created if missing).
-        parallel: Fan points out over a ``fork`` process pool.
+        parallel: Fan points out over a ``fork`` process pool (plain mode
+            only — workers execute their claims in-process).
         processes: Pool size (default: CPU count, bounded by the grid).
-        chunk_size: Points persisted per batch; the durability granularity.
-            Defaults to one per point serially, the pool size in parallel.
+        chunk_size: Points persisted per batch; the durability (and, in
+            worker mode, lease) granularity.  Each batch commits in one
+            transaction.  Defaults to one per point serially and in
+            worker mode (durability first; :func:`run_campaign_workers`
+            passes a claim-spreading size computed by
+            :func:`~repro.experiments.runner.suggest_chunk_size`), and to
+            the pool size in parallel.
         max_points: Execute at most this many new points, then return with
             ``remaining > 0`` — a bounded slice of a long campaign (and the
             deterministic stand-in for a killed run in tests).
-        sweep_cache_dir: Optional per-point pickle cache shared with the
-            sweep runner; the store itself is the authoritative record.
+        worker_id: Join the campaign as one cooperative worker under this
+            identity: claim points under a lease instead of executing a
+            precomputed pending list, so N invocations with distinct
+            worker ids drain one grid together (see
+            :func:`run_campaign_workers` for the fork-them-all wrapper).
+        lease_seconds: Worker mode: how long a claim lasts without renewal
+            (renewed after every point).
+        poll_seconds: Worker mode: idle re-check interval while peers hold
+            the remaining pending points.
+        reset_errors: Worker mode: flip unleased ``error`` points back to
+            ``pending`` at startup so previous invocations' failures are
+            retried.  :func:`run_campaign_workers` performs this reset
+            once before forking and passes ``False`` here — otherwise a
+            late-starting worker could flip a point a fast peer *just*
+            failed back to pending and retry it within the same fleet
+            invocation.
 
     Returns:
         A :class:`CampaignRunSummary`.  Point failures are recorded in the
         store (status ``error``) and counted, never raised; re-invoking the
         campaign retries them.
     """
+    if worker_id is not None and parallel:
+        raise ConfigurationError(
+            "worker mode executes its claims in-process; drop parallel=True "
+            "and start more workers instead"
+        )
+    if max_points is not None and max_points < 0:
+        raise ConfigurationError(f"max_points must be >= 0, got {max_points}")
+    if lease_seconds <= 0:
+        # A non-positive lease is born expired: every peer would claim the
+        # same points and the protocol degrades to duplicate work.
+        raise ConfigurationError(f"lease_seconds must be > 0, got {lease_seconds}")
     campaign = _coerce_campaign(spec)
     points = campaign.expand()
     with CampaignStore(store_path) as store:
         campaign_id = store.register_campaign(campaign, points)
         adopted = store.adopt_existing_results(campaign_id)
+        if worker_id is not None and reset_errors:
+            # Retry earlier invocations' failures, exactly like the serial
+            # resume path re-executes error points.
+            store.reset_error_points(campaign_id)
         statuses = store.point_statuses(campaign_id)
         pending: List[CampaignPoint] = [
             point for point in points if statuses.get(point.config_hash) != "done"
@@ -146,10 +318,31 @@ def run_campaign(
             completed_before=len(points) - len(pending),
             adopted=adopted,
             parallel=parallel,
+            worker_id=worker_id,
         )
+        if worker_id is not None:
+            by_hash = {point.config_hash: point for point in points}
+            size = chunk_size if chunk_size is not None else 1
+            if size < 1:
+                raise ConfigurationError(f"chunk_size must be >= 1, got {size}")
+            start = time.perf_counter()
+            _drain_as_worker(
+                store,
+                campaign_id,
+                by_hash,
+                summary,
+                worker_id=worker_id,
+                lease_seconds=lease_seconds,
+                chunk_size=size,
+                max_points=max_points,
+                sweep_cache_dir=sweep_cache_dir,
+                poll_seconds=poll_seconds,
+            )
+            summary.elapsed_s = time.perf_counter() - start
+            counts = store.status_counts(campaign_id)
+            summary.remaining = counts["total"] - counts["done"]
+            return summary
         if max_points is not None:
-            if max_points < 0:
-                raise ConfigurationError(f"max_points must be >= 0, got {max_points}")
             pending = pending[:max_points]
         if not pending:
             # Nothing to execute this invocation — but a max_points bound
@@ -168,40 +361,165 @@ def run_campaign(
             processes=processes,
             chunk_size=chunk_size,
         ):
-            for outcome in chunk:
-                point = by_hash[outcome.point.config_hash()]
-                summary.executed += 1
-                if not outcome.ok:
-                    summary.failed += 1
-                    summary.errors.append(
-                        f"{point.name}: {outcome.error.strip().splitlines()[-1]}"
-                    )
-                    _LOGGER.warning(
-                        "campaign point %r failed:\n%s", point.name, outcome.error
-                    )
-                    store.record_failure(
-                        campaign_id, point, outcome.error, outcome.elapsed_s
-                    )
-                    continue
-                result = outcome.value
-                if not isinstance(result, ScenarioResult):
-                    result = ScenarioResult.from_dict(result)
-                if result.config_hash != point.config_hash:
-                    # A hashing regression would silently corrupt resume
-                    # bookkeeping — record it as a failure instead.
-                    summary.failed += 1
-                    message = (
-                        f"result config hash {result.config_hash} does not match "
-                        f"the expanded point's {point.config_hash}"
-                    )
-                    summary.errors.append(f"{point.name}: {message}")
-                    store.record_failure(campaign_id, point, message, outcome.elapsed_s)
-                    continue
-                store.record_result(campaign_id, point, result, outcome.elapsed_s)
+            records = [
+                _outcome_record(by_hash[outcome.point.config_hash()], outcome)
+                for outcome in chunk
+            ]
+            for record in records:
+                _tally(summary, record)
+            # One transaction per chunk: a kill between rows never leaves
+            # a partially persisted chunk behind.
+            store.record_chunk(campaign_id, records)
         summary.elapsed_s = time.perf_counter() - start
         counts = store.status_counts(campaign_id)
         summary.remaining = counts["total"] - counts["done"]
         return summary
 
 
-__all__ = ["CampaignRunSummary", "run_campaign"]
+def _worker_process_entry(args: tuple) -> Dict[str, Any]:
+    """Run one forked worker; module-level so the pool can dispatch it."""
+    (
+        spec_dict,
+        store_path,
+        worker_id,
+        lease_seconds,
+        chunk_size,
+        max_points,
+        sweep_cache_dir,
+        poll_seconds,
+    ) = args
+    summary = run_campaign(
+        spec_dict,
+        store_path=store_path,
+        chunk_size=chunk_size,
+        max_points=max_points,
+        sweep_cache_dir=sweep_cache_dir,
+        worker_id=worker_id,
+        lease_seconds=lease_seconds,
+        poll_seconds=poll_seconds,
+        # The fleet launcher already reset error points once, before any
+        # worker started; resetting again here would race against peers
+        # that have just re-failed a point.
+        reset_errors=False,
+    )
+    return summary.to_dict()
+
+
+def run_campaign_workers(
+    spec: Any,
+    store_path: Union[str, os.PathLike],
+    workers: int,
+    chunk_size: Optional[int] = None,
+    max_points: Optional[int] = None,
+    sweep_cache_dir: Optional[Union[str, os.PathLike]] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    poll_seconds: float = DEFAULT_POLL_SECONDS,
+) -> CampaignRunSummary:
+    """Fork N cooperative workers that drain one campaign together.
+
+    The campaign is registered once up-front (so no worker pays the
+    expansion race), then *workers* processes each run
+    :func:`run_campaign` in worker mode against the shared store.  The
+    returned summary aggregates their work; ``elapsed_s`` is the
+    wall-clock time of the whole drain, so ``points_per_second`` measures
+    the fleet, not one worker.
+
+    Without the ``fork`` start method (or with ``workers=1``) the workers
+    run sequentially in-process — same lease protocol, no concurrency.
+
+    Args:
+        spec: A :class:`CampaignSpec` or its dict form.
+        store_path: The shared SQLite store.
+        workers: How many worker processes to fork.
+        chunk_size: Lease/persistence batch size per claim (default: a
+            claim-spreading size from the pending-point count).
+        max_points: Global bound on newly executed points, split across
+            the workers.
+        sweep_cache_dir: Optional per-point pickle cache shared by all
+            workers (safe: cache publishes are atomic).
+        lease_seconds: Lease duration without renewal.
+        poll_seconds: Idle re-check interval.
+
+    Returns:
+        The aggregated :class:`CampaignRunSummary` (``workers`` set).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if lease_seconds <= 0:
+        raise ConfigurationError(f"lease_seconds must be > 0, got {lease_seconds}")
+    campaign = _coerce_campaign(spec)
+    points = campaign.expand()
+    # Register (and adopt shared results) before forking, with the store
+    # closed again afterwards: SQLite connections must never cross a fork.
+    # Error points are also reset exactly once, here, so the retry of
+    # previous invocations' failures cannot race a late-starting worker
+    # against a fast peer's fresh failure.
+    with CampaignStore(store_path) as store:
+        campaign_id = store.register_campaign(campaign, points)
+        adopted = store.adopt_existing_results(campaign_id)
+        store.reset_error_points(campaign_id)
+        counts = store.status_counts(campaign_id)
+    pending_count = counts["total"] - counts["done"]
+    size = (
+        chunk_size
+        if chunk_size is not None
+        else suggest_chunk_size(pending_count, workers=workers)
+    )
+    if size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {size}")
+    # Split a global max_points bound into per-worker quotas.
+    quotas: List[Optional[int]] = [max_points] * workers
+    if max_points is not None:
+        quotas = [
+            max_points // workers + (1 if index < max_points % workers else 0)
+            for index in range(workers)
+        ]
+    run_tag = os.getpid()
+    worker_args = [
+        (
+            campaign.to_dict(),
+            str(store_path),
+            f"worker-{run_tag}-{index}",
+            lease_seconds,
+            size,
+            quotas[index],
+            str(sweep_cache_dir) if sweep_cache_dir is not None else None,
+            poll_seconds,
+        )
+        for index in range(workers)
+    ]
+    start = time.perf_counter()
+    if workers > 1 and "fork" in get_all_start_methods():
+        context = get_context("fork")
+        with context.Pool(processes=workers) as pool:
+            worker_summaries = pool.map(_worker_process_entry, worker_args)
+    else:
+        worker_summaries = [_worker_process_entry(args) for args in worker_args]
+    elapsed_s = time.perf_counter() - start
+
+    summary = CampaignRunSummary(
+        campaign_id=campaign_id,
+        name=campaign.name,
+        store_path=str(store_path),
+        total_points=len(points),
+        completed_before=counts["done"],
+        adopted=adopted,
+        executed=sum(entry["executed"] for entry in worker_summaries),
+        failed=sum(entry["failed"] for entry in worker_summaries),
+        elapsed_s=elapsed_s,
+        workers=workers,
+        errors=[error for entry in worker_summaries for error in entry["errors"]],
+    )
+    with CampaignStore(store_path) as store:
+        final = store.status_counts(campaign_id)
+    summary.remaining = final["total"] - final["done"]
+    return summary
+
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_POLL_SECONDS",
+    "CampaignRunSummary",
+    "run_campaign",
+    "run_campaign_workers",
+]

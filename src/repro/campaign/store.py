@@ -1,4 +1,4 @@
-"""The persistent campaign results store (SQLite).
+"""The persistent campaign results store (SQLite), safe for many processes.
 
 Every campaign run records what it did into one SQLite file, so a grid of
 hundreds of scenarios has a durable record — what ran, what failed, how
@@ -9,7 +9,8 @@ row — instead of a directory of anonymous pickles.  The schema:
   schema-versioned hash of its spec), holding the spec JSON.
 * ``points`` — one row per expanded grid point and campaign, carrying the
   point's axis coordinates, scenario spec, status (``pending`` → ``done`` /
-  ``error``), error traceback and timing.
+  ``error``), error traceback, timing and the point's current **lease**
+  (worker id + expiry) while a worker is computing it.
 * ``results`` — one row per **config hash**, holding the result JSON.  The
   config hash is the idempotency key: a point whose hash already has a
   result is complete by definition, which is what makes campaigns
@@ -18,9 +19,33 @@ row — instead of a directory of anonymous pickles.  The schema:
   (:meth:`~repro.scenario.engine.ScenarioResult.headline_metrics`) per
   config hash, so the report layer aggregates without re-parsing JSON.
 
-A single process writes the store (workers only compute), so plain SQLite
-transactions per recorded point are all the durability machinery needed: a
-killed run loses at most the in-flight chunk.
+Concurrency model
+-----------------
+
+Many processes may hold the store open at once — N ``run-campaign``
+workers draining one grid while ``campaign-status`` polls it.  Three
+mechanisms make that safe:
+
+* **WAL journal mode** plus a ``busy_timeout``: readers never block on the
+  writer, and a second writer waits (bounded) instead of raising
+  ``database is locked``.  Writable connections also retry ``BEGIN
+  IMMEDIATE`` with exponential backoff as a belt-and-braces layer on top
+  of the timeout.
+* **Short, explicit transactions**: every mutation runs inside one
+  ``BEGIN IMMEDIATE … COMMIT`` block (:meth:`CampaignStore.transaction`),
+  and a whole chunk of outcomes persists in a *single* transaction
+  (:meth:`CampaignStore.record_chunk`) — a killed writer can never leave
+  a partially persisted chunk behind.
+* **Leases**: workers claim pending points atomically
+  (:meth:`CampaignStore.claim_points`), renew their leases while
+  computing (:meth:`CampaignStore.renew_leases`) and implicitly release
+  them when the chunk commits.  A worker that dies simply stops renewing;
+  once its lease expires the points are claimable again, so a crashed
+  worker's share of the grid is reclaimed by its peers.
+
+Read-only consumers (``campaign-status``/``campaign-report``) should open
+the store with ``read_only=True``: such a connection cannot take write
+locks at all, so it can never contend with (or corrupt) a live run.
 """
 
 from __future__ import annotations
@@ -29,16 +54,40 @@ import copy
 import json
 import os
 import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import ConfigurationError
 from ..scenario.engine import ScenarioResult
 from .spec import CampaignPoint, CampaignSpec
 
 #: Bump on incompatible schema changes (checked against ``PRAGMA user_version``).
-STORE_SCHEMA_VERSION = 1
+#: Version 2 added the lease columns (``lease_owner``, ``lease_expires_at``)
+#: to ``points``; version-1 stores are migrated in place on open.
+STORE_SCHEMA_VERSION = 2
+
+#: How long a writable connection waits on a locked database before SQLite
+#: itself gives up (seconds).  Generous by design: campaign transactions
+#: are short, so waiting always beats failing.
+DEFAULT_BUSY_TIMEOUT_S = 30.0
+
+#: How often ``BEGIN IMMEDIATE`` is retried on top of the busy timeout.
+_LOCK_RETRIES = 5
+_LOCK_RETRY_INITIAL_DELAY_S = 0.05
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -49,16 +98,18 @@ CREATE TABLE IF NOT EXISTS campaigns (
     created_at  TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS points (
-    campaign_id  TEXT NOT NULL REFERENCES campaigns(campaign_id),
-    config_hash  TEXT NOT NULL,
-    point_index  INTEGER NOT NULL,
-    name         TEXT NOT NULL,
-    axes_json    TEXT NOT NULL,
-    spec_json    TEXT NOT NULL,
-    status       TEXT NOT NULL DEFAULT 'pending',
-    error        TEXT,
-    elapsed_s    REAL,
-    completed_at TEXT,
+    campaign_id      TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    config_hash      TEXT NOT NULL,
+    point_index      INTEGER NOT NULL,
+    name             TEXT NOT NULL,
+    axes_json        TEXT NOT NULL,
+    spec_json        TEXT NOT NULL,
+    status           TEXT NOT NULL DEFAULT 'pending',
+    error            TEXT,
+    elapsed_s        REAL,
+    completed_at     TEXT,
+    lease_owner      TEXT,
+    lease_expires_at REAL,
     PRIMARY KEY (campaign_id, config_hash)
 );
 CREATE TABLE IF NOT EXISTS results (
@@ -76,6 +127,12 @@ CREATE TABLE IF NOT EXISTS metrics (
 CREATE INDEX IF NOT EXISTS idx_points_status ON points(campaign_id, status);
 """
 
+#: Statements migrating a version-1 store (no lease columns) in place.
+_MIGRATE_V1_TO_V2 = (
+    "ALTER TABLE points ADD COLUMN lease_owner TEXT",
+    "ALTER TABLE points ADD COLUMN lease_expires_at REAL",
+)
+
 #: Result/metric fields that carry wall-clock measurements.  They differ
 #: between otherwise identical runs, so determinism-sensitive comparisons
 #: (``canonical_dump``) strip them.
@@ -85,6 +142,11 @@ VOLATILE_REACTION_KEYS = ("compute_seconds",)
 
 def _now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _is_locked_error(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
 
 
 def canonical_result_dict(result: Mapping[str, Any]) -> Dict[str, Any]:
@@ -110,16 +172,81 @@ def canonical_result_dict(result: Mapping[str, Any]) -> Dict[str, Any]:
     return canonical
 
 
-class CampaignStore:
-    """One SQLite results store, usable as a context manager."""
+@dataclass(frozen=True)
+class PointRecord:
+    """One point's outcome, ready to persist.
 
-    def __init__(self, path: Union[str, os.PathLike]):
+    ``record_chunk`` takes a sequence of these and commits them in a single
+    transaction.  Exactly one of *result*/*error* is set.
+
+    Attributes:
+        point: The executed campaign point.
+        result: The scenario result on success, ``None`` on failure.
+        error: The failure traceback, ``None`` on success.
+        elapsed_s: Wall-clock execution time of the point.
+    """
+
+    point: CampaignPoint
+    result: Optional[ScenarioResult] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point succeeded."""
+        return self.error is None
+
+
+class CampaignStore:
+    """One SQLite results store, usable as a context manager.
+
+    Args:
+        path: The store file (created, with its parents, unless read-only).
+        read_only: Open a connection that cannot take write locks — the
+            right mode for status/report consumers running alongside a
+            live campaign.  Requires the store to exist.
+        busy_timeout_s: How long writes wait on a locked database before
+            the in-process retry loop (and finally the caller) sees the
+            error.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        read_only: bool = False,
+        busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S,
+    ):
         self.path = Path(path)
-        if self.path.parent and not self.path.parent.exists():
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._connection = sqlite3.connect(str(self.path))
+        self.read_only = read_only
+        self._busy_timeout_s = busy_timeout_s
+        if read_only:
+            if not self.path.exists():
+                raise ConfigurationError(
+                    f"campaign store {self.path} does not exist "
+                    "(read-only connections never create one)"
+                )
+            try:
+                self._connection = sqlite3.connect(
+                    f"file:{self.path}?mode=ro", uri=True
+                )
+            except sqlite3.OperationalError as error:
+                raise ConfigurationError(
+                    f"cannot open campaign store {self.path} read-only ({error})"
+                ) from error
+        else:
+            if self.path.parent and not self.path.parent.exists():
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._connection = sqlite3.connect(str(self.path))
         self._connection.row_factory = sqlite3.Row
+        # Explicit transaction control: the connection stays in autocommit
+        # mode and every mutation runs inside BEGIN IMMEDIATE ... COMMIT
+        # (see :meth:`transaction`), keeping write transactions short and
+        # their lock acquisition up-front.
+        self._connection.isolation_level = None
         try:
+            self._connection.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout_s * 1000)}"
+            )
             self._connection.execute("PRAGMA foreign_keys = ON")
             version = self._connection.execute("PRAGMA user_version").fetchone()[0]
         except sqlite3.DatabaseError as error:
@@ -127,10 +254,56 @@ class CampaignStore:
             raise ConfigurationError(
                 f"{self.path} is not a SQLite campaign store ({error})"
             ) from error
+        if not read_only:
+            # WAL journalling is what lets readers run beside the writer
+            # (and writers queue instead of erroring).  NORMAL synchronous
+            # is the standard WAL pairing: commits are durable against
+            # process crashes, and an OS crash can only lose whole
+            # transactions, never corrupt the store.
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
         if version == 0:
+            if read_only:
+                self._connection.close()
+                raise ConfigurationError(
+                    f"campaign store {self.path} is empty (no schema); "
+                    "run a campaign against it first"
+                )
+            # executescript() commits any pending transaction first, so the
+            # schema runs in autocommit mode instead of self.transaction().
+            # That is safe to race: every statement is IF NOT EXISTS, and a
+            # crash mid-schema leaves user_version at 0, so the next open
+            # simply finishes the job.
             self._connection.executescript(_SCHEMA)
-            self._connection.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION}")
-            self._connection.commit()
+            self._connection.execute(
+                f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
+            )
+        elif version == 1 and not read_only:
+            # In-place migration: v1 predates the lease columns.  Adding
+            # nullable columns preserves every stored row and keeps v1
+            # stores resumable by this code.  The version is re-read after
+            # the write lock is held: two processes opening a v1 store
+            # concurrently both pass the check above, and the one that
+            # loses the lock race must not repeat the ALTERs.
+            try:
+                with self.transaction():
+                    current = self._connection.execute(
+                        "PRAGMA user_version"
+                    ).fetchone()[0]
+                    if current == 1:
+                        for statement in _MIGRATE_V1_TO_V2:
+                            self._connection.execute(statement)
+                        self._connection.execute(
+                            f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
+                        )
+            except BaseException:
+                self._connection.close()
+                raise
+        elif version == 1 and read_only:
+            # A v1 store is readable as-is: the query layer never touches
+            # the lease columns.  Migration happens on the next writable
+            # open.
+            pass
         elif version != STORE_SCHEMA_VERSION:
             self._connection.close()
             raise ConfigurationError(
@@ -149,6 +322,45 @@ class CampaignStore:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """One short write transaction: ``BEGIN IMMEDIATE`` … ``COMMIT``.
+
+        The write lock is taken up-front (so concurrent writers queue on
+        the busy timeout instead of deadlocking on a lock upgrade) and
+        ``BEGIN`` itself is retried with backoff when the database stays
+        locked past the timeout.  *Any* exception — including
+        ``KeyboardInterrupt`` — rolls the whole transaction back: partial
+        writes can never become visible.
+
+        Raises:
+            ConfigurationError: When the store was opened read-only.
+        """
+        if self.read_only:
+            raise ConfigurationError(
+                f"campaign store {self.path} is open read-only; writes need a "
+                "writable CampaignStore"
+            )
+        delay = _LOCK_RETRY_INITIAL_DELAY_S
+        for attempt in range(_LOCK_RETRIES):
+            try:
+                self._connection.execute("BEGIN IMMEDIATE")
+                break
+            except sqlite3.OperationalError as error:
+                if not _is_locked_error(error) or attempt == _LOCK_RETRIES - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+        try:
+            yield self._connection
+        except BaseException:
+            self._connection.execute("ROLLBACK")
+            raise
+        self._connection.execute("COMMIT")
+
+    # ------------------------------------------------------------------ #
     # Registration and status
     # ------------------------------------------------------------------ #
     def register_campaign(
@@ -158,38 +370,39 @@ class CampaignStore:
 
         Re-registering the same campaign (same spec, hence same id) leaves
         existing point statuses untouched — that is what makes re-invoking
-        ``run-campaign`` a resume rather than a restart.
+        ``run-campaign`` a resume rather than a restart, and lets N workers
+        register concurrently without stepping on each other.
         """
         campaign_id = spec.campaign_id()
-        self._connection.execute(
-            "INSERT OR IGNORE INTO campaigns "
-            "(campaign_id, name, spec_json, num_points, created_at) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (
-                campaign_id,
-                spec.name,
-                json.dumps(spec.to_dict(), sort_keys=True),
-                len(points),
-                _now(),
-            ),
-        )
-        self._connection.executemany(
-            "INSERT OR IGNORE INTO points "
-            "(campaign_id, config_hash, point_index, name, axes_json, spec_json) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
-            [
+        with self.transaction() as connection:
+            connection.execute(
+                "INSERT OR IGNORE INTO campaigns "
+                "(campaign_id, name, spec_json, num_points, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
                 (
                     campaign_id,
-                    point.config_hash,
-                    point.index,
-                    point.name,
-                    json.dumps(point.axes, sort_keys=True),
-                    json.dumps(point.spec.to_dict(), sort_keys=True),
-                )
-                for point in points
-            ],
-        )
-        self._connection.commit()
+                    spec.name,
+                    json.dumps(spec.to_dict(), sort_keys=True),
+                    len(points),
+                    _now(),
+                ),
+            )
+            connection.executemany(
+                "INSERT OR IGNORE INTO points "
+                "(campaign_id, config_hash, point_index, name, axes_json, spec_json) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        campaign_id,
+                        point.config_hash,
+                        point.index,
+                        point.name,
+                        json.dumps(point.axes, sort_keys=True),
+                        json.dumps(point.spec.to_dict(), sort_keys=True),
+                    )
+                    for point in points
+                ],
+            )
         return campaign_id
 
     def adopt_existing_results(self, campaign_id: str) -> int:
@@ -199,14 +412,37 @@ class CampaignStore:
         point another campaign (or an interrupted run) already computed is
         done — no execution needed.  Returns how many points were adopted.
         """
-        cursor = self._connection.execute(
-            "UPDATE points SET status = 'done', error = NULL, completed_at = ? "
-            "WHERE campaign_id = ? AND status != 'done' "
-            "AND config_hash IN (SELECT config_hash FROM results)",
-            (_now(), campaign_id),
-        )
-        self._connection.commit()
-        return cursor.rowcount
+        with self.transaction() as connection:
+            cursor = connection.execute(
+                "UPDATE points SET status = 'done', error = NULL, "
+                "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL "
+                "WHERE campaign_id = ? AND status != 'done' "
+                "AND config_hash IN (SELECT config_hash FROM results)",
+                (_now(), campaign_id),
+            )
+            return cursor.rowcount
+
+    def reset_error_points(
+        self, campaign_id: str, now: Optional[float] = None
+    ) -> int:
+        """Flip unleased ``error`` points back to ``pending`` for a retry.
+
+        Worker-mode invocations call this once at startup so failures from
+        *previous* invocations are retried, exactly like the serial resume
+        path re-executes them.  Points under a live lease are left alone —
+        their owner is still working on them.  Returns how many points were
+        reset.
+        """
+        now = time.time() if now is None else now
+        with self.transaction() as connection:
+            cursor = connection.execute(
+                "UPDATE points SET status = 'pending', error = NULL "
+                "WHERE campaign_id = ? AND status = 'error' "
+                "AND (lease_owner IS NULL OR lease_expires_at IS NULL "
+                "     OR lease_expires_at <= ?)",
+                (campaign_id, now),
+            )
+            return cursor.rowcount
 
     def point_statuses(self, campaign_id: str) -> Dict[str, str]:
         """``config_hash -> status`` for every point of a campaign."""
@@ -230,8 +466,182 @@ class CampaignStore:
         return counts
 
     # ------------------------------------------------------------------ #
+    # Leases
+    # ------------------------------------------------------------------ #
+    def claim_points(
+        self,
+        campaign_id: str,
+        worker_id: str,
+        limit: int,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Atomically lease up to *limit* pending points to *worker_id*.
+
+        A point is claimable when its status is ``pending`` and it carries
+        no live lease — never leased, explicitly released, or leased by a
+        worker whose lease has expired (the crash-recovery path: a dead
+        worker stops renewing, so its points become claimable again).
+        Selection follows grid order, and the SELECT + UPDATE pair runs
+        inside one ``BEGIN IMMEDIATE`` transaction, so two workers can
+        never claim the same point.
+
+        Args:
+            campaign_id: The campaign to claim from.
+            worker_id: The claiming worker's identity.
+            limit: Maximum number of points to claim.
+            lease_seconds: How long the lease lasts without renewal.
+            now: Injectable clock (seconds, ``time.time`` scale) for tests.
+
+        Returns:
+            The claimed points' config hashes, in grid order (empty when
+            nothing is claimable).
+        """
+        if limit < 1:
+            return []
+        now = time.time() if now is None else now
+        with self.transaction() as connection:
+            rows = connection.execute(
+                "SELECT config_hash FROM points "
+                "WHERE campaign_id = ? AND status = 'pending' "
+                "AND (lease_owner IS NULL OR lease_expires_at IS NULL "
+                "     OR lease_expires_at <= ?) "
+                "ORDER BY point_index LIMIT ?",
+                (campaign_id, now, limit),
+            ).fetchall()
+            hashes = [row["config_hash"] for row in rows]
+            connection.executemany(
+                "UPDATE points SET lease_owner = ?, lease_expires_at = ? "
+                "WHERE campaign_id = ? AND config_hash = ?",
+                [
+                    (worker_id, now + lease_seconds, campaign_id, config_hash)
+                    for config_hash in hashes
+                ],
+            )
+        return hashes
+
+    def renew_leases(
+        self,
+        campaign_id: str,
+        worker_id: str,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> int:
+        """Heartbeat: extend every lease *worker_id* still holds.
+
+        Workers call this between point executions, so a lease only
+        expires when its owner actually stopped making progress.  Returns
+        how many leases were renewed.
+        """
+        now = time.time() if now is None else now
+        with self.transaction() as connection:
+            cursor = connection.execute(
+                "UPDATE points SET lease_expires_at = ? "
+                "WHERE campaign_id = ? AND lease_owner = ? AND status = 'pending'",
+                (now + lease_seconds, campaign_id, worker_id),
+            )
+            return cursor.rowcount
+
+    def release_leases(self, campaign_id: str, worker_id: str) -> int:
+        """Drop every lease *worker_id* holds (clean shutdown / interrupt).
+
+        The points stay ``pending`` and become immediately claimable by
+        other workers — no need to wait out the expiry.  Returns how many
+        leases were released.
+        """
+        with self.transaction() as connection:
+            cursor = connection.execute(
+                "UPDATE points SET lease_owner = NULL, lease_expires_at = NULL "
+                "WHERE campaign_id = ? AND lease_owner = ?",
+                (campaign_id, worker_id),
+            )
+            return cursor.rowcount
+
+    def active_leases(
+        self, campaign_id: str, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Live leases per worker: ``{worker, points, expires_in_s}`` rows."""
+        now = time.time() if now is None else now
+        try:
+            rows = self._connection.execute(
+                "SELECT lease_owner AS worker, COUNT(*) AS points, "
+                "MIN(lease_expires_at) AS earliest_expiry "
+                "FROM points WHERE campaign_id = ? AND status = 'pending' "
+                "AND lease_owner IS NOT NULL AND lease_expires_at > ? "
+                "GROUP BY lease_owner ORDER BY lease_owner",
+                (campaign_id, now),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            # A read-only view of an unmigrated v1 store has no lease
+            # columns — and therefore no leases to report.
+            return []
+        return [
+            {
+                "worker": row["worker"],
+                "points": row["points"],
+                "expires_in_s": max(0.0, row["earliest_expiry"] - now),
+            }
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------ #
     # Recording outcomes
     # ------------------------------------------------------------------ #
+    def _persist_record(
+        self, connection: sqlite3.Connection, campaign_id: str, record: PointRecord
+    ) -> None:
+        """Write one outcome's rows (no transaction management here)."""
+        point = record.point
+        if record.error is not None:
+            connection.execute(
+                "UPDATE points SET status = 'error', error = ?, elapsed_s = ?, "
+                "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL "
+                "WHERE campaign_id = ? AND config_hash = ?",
+                (record.error, record.elapsed_s, _now(), campaign_id, point.config_hash),
+            )
+            return
+        result_dict = record.result.to_dict()
+        connection.execute(
+            "INSERT OR REPLACE INTO results (config_hash, result_json, created_at) "
+            "VALUES (?, ?, ?)",
+            (point.config_hash, json.dumps(result_dict, sort_keys=True), _now()),
+        )
+        connection.execute(
+            "DELETE FROM metrics WHERE config_hash = ?", (point.config_hash,)
+        )
+        connection.executemany(
+            "INSERT INTO metrics (config_hash, scheme, metric, value) "
+            "VALUES (?, ?, ?, ?)",
+            [
+                (point.config_hash, scheme, metric, float(value))
+                for scheme, entry in record.result.headline_metrics().items()
+                for metric, value in entry.items()
+            ],
+        )
+        connection.execute(
+            "UPDATE points SET status = 'done', error = NULL, elapsed_s = ?, "
+            "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL "
+            "WHERE campaign_id = ? AND config_hash = ?",
+            (record.elapsed_s, _now(), campaign_id, point.config_hash),
+        )
+
+    def record_chunk(
+        self, campaign_id: str, records: Sequence[PointRecord]
+    ) -> None:
+        """Persist a whole chunk of outcomes in one transaction.
+
+        All-or-nothing durability: a ``KeyboardInterrupt`` (or any other
+        failure) while the chunk is being written rolls every row back, so
+        an interrupted run never leaves a half-persisted chunk — the
+        affected points simply stay ``pending`` and re-run on resume.
+        Successful records also clear the points' leases.
+        """
+        if not records:
+            return
+        with self.transaction() as connection:
+            for record in records:
+                self._persist_record(connection, campaign_id, record)
+
     def record_result(
         self,
         campaign_id: str,
@@ -240,41 +650,19 @@ class CampaignStore:
         elapsed_s: float,
     ) -> None:
         """Persist one successful point: result row, metrics, point status."""
-        result_dict = result.to_dict()
-        self._connection.execute(
-            "INSERT OR REPLACE INTO results (config_hash, result_json, created_at) "
-            "VALUES (?, ?, ?)",
-            (point.config_hash, json.dumps(result_dict, sort_keys=True), _now()),
+        self.record_chunk(
+            campaign_id,
+            [PointRecord(point=point, result=result, elapsed_s=elapsed_s)],
         )
-        self._connection.execute(
-            "DELETE FROM metrics WHERE config_hash = ?", (point.config_hash,)
-        )
-        self._connection.executemany(
-            "INSERT INTO metrics (config_hash, scheme, metric, value) "
-            "VALUES (?, ?, ?, ?)",
-            [
-                (point.config_hash, scheme, metric, float(value))
-                for scheme, entry in result.headline_metrics().items()
-                for metric, value in entry.items()
-            ],
-        )
-        self._connection.execute(
-            "UPDATE points SET status = 'done', error = NULL, elapsed_s = ?, "
-            "completed_at = ? WHERE campaign_id = ? AND config_hash = ?",
-            (elapsed_s, _now(), campaign_id, point.config_hash),
-        )
-        self._connection.commit()
 
     def record_failure(
         self, campaign_id: str, point: CampaignPoint, error: str, elapsed_s: float
     ) -> None:
         """Persist one failed point (status ``error`` plus the traceback)."""
-        self._connection.execute(
-            "UPDATE points SET status = 'error', error = ?, elapsed_s = ?, "
-            "completed_at = ? WHERE campaign_id = ? AND config_hash = ?",
-            (error, elapsed_s, _now(), campaign_id, point.config_hash),
+        self.record_chunk(
+            campaign_id,
+            [PointRecord(point=point, error=error, elapsed_s=elapsed_s)],
         )
-        self._connection.commit()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -413,10 +801,10 @@ class CampaignStore:
     def canonical_dump(self, campaign_id: str) -> Dict[str, Any]:
         """A deterministic view of a campaign's stored state.
 
-        Strips every wall-clock field (point timings, timestamps, the
-        per-step compute series inside results) so that an interrupted-and-
-        resumed campaign compares bit-for-bit equal to an uninterrupted
-        serial run of the same grid.
+        Strips every wall-clock field (point timings, timestamps, leases,
+        the per-step compute series inside results) so that an interrupted-
+        and-resumed campaign — or one drained by N concurrent workers —
+        compares bit-for-bit equal to an uninterrupted serial run.
         """
         campaign = self._connection.execute(
             "SELECT campaign_id, name, spec_json, num_points FROM campaigns "
@@ -447,7 +835,9 @@ class CampaignStore:
 
 
 __all__ = [
+    "DEFAULT_BUSY_TIMEOUT_S",
     "STORE_SCHEMA_VERSION",
     "CampaignStore",
+    "PointRecord",
     "canonical_result_dict",
 ]
