@@ -69,6 +69,15 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
     parser.add_argument("--parallel", action="store_true", help="fan out over processes")
     parser.add_argument("--processes", type=int, default=None, help="pool size")
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "group points sharing a topology/power/routing signature and "
+            "evaluate each group as one batched problem (bit-identical "
+            "results, much higher points/s; composes with --workers)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -142,6 +151,12 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
             "pools point execution in one invocation, --workers forks "
             "cooperating invocations, --worker-id joins as one of them"
         )
+    if args.batch and args.parallel:
+        parser.error(
+            "--batch and --parallel are mutually exclusive: batch mode "
+            "evaluates grouped points in-process (combine --batch with "
+            "--workers to use more cores)"
+        )
 
     try:
         spec = _load_campaign_spec(args.spec)
@@ -154,6 +169,7 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
                 max_points=args.max_points,
                 sweep_cache_dir=args.cache_dir,
                 lease_seconds=args.lease_seconds,
+                batch=args.batch,
             )
         else:
             summary = run_campaign(
@@ -166,6 +182,7 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
                 sweep_cache_dir=args.cache_dir,
                 worker_id=args.worker_id,
                 lease_seconds=args.lease_seconds,
+                batch=args.batch,
             )
     except ConfigurationError as error:
         parser.error(str(error))

@@ -40,7 +40,9 @@ from ..exceptions import ConfigurationError
 from ..experiments.runner import (
     PointOutcome,
     execute_point_outcome,
+    execute_scenario_batch,
     iter_outcome_chunks,
+    plan_point_batches,
     suggest_chunk_size,
 )
 from ..scenario.engine import ScenarioResult
@@ -188,6 +190,7 @@ def _drain_as_worker(
     max_points: Optional[int],
     sweep_cache_dir: Optional[Union[str, os.PathLike]],
     poll_seconds: float,
+    batch: bool = False,
 ) -> None:
     """The cooperative drain loop of one lease-holding worker.
 
@@ -196,6 +199,11 @@ def _drain_as_worker(
     is claimable but pending points remain, they are leased to peers: the
     worker polls until they complete, error out, or their leases expire
     (the crash-recovery path, where this worker reclaims them).
+
+    With *batch* set, each claim's points are additionally grouped by
+    :func:`~repro.experiments.runner.plan_point_batches` and every group
+    runs as one batched evaluation; the lease heartbeat moves to group
+    boundaries, and the claim still commits atomically as before.
     """
     while True:
         budget = None if max_points is None else max_points - summary.executed
@@ -213,15 +221,28 @@ def _drain_as_worker(
             continue
         records: List[PointRecord] = []
         try:
-            for config_hash in claimed:
-                point = by_hash[config_hash]
-                outcome = execute_point_outcome(
-                    point.spec.sweep_point(), sweep_cache_dir
-                )
-                records.append(_outcome_record(point, outcome))
-                # Heartbeat between points: the lease only expires if this
-                # worker actually stops making progress.
-                store.renew_leases(campaign_id, worker_id, lease_seconds)
+            if batch:
+                points = [by_hash[config_hash] for config_hash in claimed]
+                sweep_points = [point.spec.sweep_point() for point in points]
+                for group in plan_point_batches(sweep_points):
+                    outcomes = execute_scenario_batch(
+                        [sweep_points[index] for index in group], sweep_cache_dir
+                    )
+                    for index, outcome in zip(group, outcomes):
+                        records.append(_outcome_record(points[index], outcome))
+                    # Heartbeat between groups: the lease only expires if
+                    # this worker actually stops making progress.
+                    store.renew_leases(campaign_id, worker_id, lease_seconds)
+            else:
+                for config_hash in claimed:
+                    point = by_hash[config_hash]
+                    outcome = execute_point_outcome(
+                        point.spec.sweep_point(), sweep_cache_dir
+                    )
+                    records.append(_outcome_record(point, outcome))
+                    # Heartbeat between points: the lease only expires if
+                    # this worker actually stops making progress.
+                    store.renew_leases(campaign_id, worker_id, lease_seconds)
             for record in records:
                 _tally(summary, record)
             store.record_chunk(campaign_id, records)
@@ -245,6 +266,7 @@ def run_campaign(
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
     poll_seconds: float = DEFAULT_POLL_SECONDS,
     reset_errors: bool = True,
+    batch: bool = False,
 ) -> CampaignRunSummary:
     """Execute (or resume) a campaign against a results store.
 
@@ -280,6 +302,13 @@ def run_campaign(
             late-starting worker could flip a point a fast peer *just*
             failed back to pending and retry it within the same fleet
             invocation.
+        batch: Group pending points by their
+            :func:`~repro.experiments.runner.batch_signature` and evaluate
+            each group as one batched problem (bit-identical results; see
+            :func:`~repro.experiments.runner.execute_scenario_batch`).
+            Each group commits as one atomic chunk.  Mutually exclusive
+            with ``parallel``; composes with worker mode (each claim is
+            grouped internally).
 
     Returns:
         A :class:`CampaignRunSummary`.  Point failures are recorded in the
@@ -290,6 +319,11 @@ def run_campaign(
         raise ConfigurationError(
             "worker mode executes its claims in-process; drop parallel=True "
             "and start more workers instead"
+        )
+    if batch and parallel:
+        raise ConfigurationError(
+            "batch mode evaluates grouped points in-process; drop "
+            "parallel=True (combine batch with workers to use more cores)"
         )
     if max_points is not None and max_points < 0:
         raise ConfigurationError(f"max_points must be >= 0, got {max_points}")
@@ -337,6 +371,7 @@ def run_campaign(
                 max_points=max_points,
                 sweep_cache_dir=sweep_cache_dir,
                 poll_seconds=poll_seconds,
+                batch=batch,
             )
             summary.elapsed_s = time.perf_counter() - start
             counts = store.status_counts(campaign_id)
@@ -353,6 +388,27 @@ def run_campaign(
 
         by_hash = {point.config_hash: point for point in pending}
         sweep_points = [point.spec.sweep_point() for point in pending]
+        if batch:
+            # Batched execution: one grouped evaluation — and one atomic
+            # store transaction — per batch group.  A kill mid-group loses
+            # at most that group; re-invoking completes exactly the missing
+            # points, as in serial mode.
+            start = time.perf_counter()
+            for group in plan_point_batches(sweep_points):
+                outcomes = execute_scenario_batch(
+                    [sweep_points[index] for index in group], sweep_cache_dir
+                )
+                records = [
+                    _outcome_record(pending[index], outcome)
+                    for index, outcome in zip(group, outcomes)
+                ]
+                for record in records:
+                    _tally(summary, record)
+                store.record_chunk(campaign_id, records)
+            summary.elapsed_s = time.perf_counter() - start
+            counts = store.status_counts(campaign_id)
+            summary.remaining = counts["total"] - counts["done"]
+            return summary
         start = time.perf_counter()
         for chunk in iter_outcome_chunks(
             sweep_points,
@@ -387,6 +443,7 @@ def _worker_process_entry(args: tuple) -> Dict[str, Any]:
         max_points,
         sweep_cache_dir,
         poll_seconds,
+        batch,
     ) = args
     summary = run_campaign(
         spec_dict,
@@ -397,6 +454,7 @@ def _worker_process_entry(args: tuple) -> Dict[str, Any]:
         worker_id=worker_id,
         lease_seconds=lease_seconds,
         poll_seconds=poll_seconds,
+        batch=batch,
         # The fleet launcher already reset error points once, before any
         # worker started; resetting again here would race against peers
         # that have just re-failed a point.
@@ -414,6 +472,7 @@ def run_campaign_workers(
     sweep_cache_dir: Optional[Union[str, os.PathLike]] = None,
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
     poll_seconds: float = DEFAULT_POLL_SECONDS,
+    batch: bool = False,
 ) -> CampaignRunSummary:
     """Fork N cooperative workers that drain one campaign together.
 
@@ -439,6 +498,9 @@ def run_campaign_workers(
             workers (safe: cache publishes are atomic).
         lease_seconds: Lease duration without renewal.
         poll_seconds: Idle re-check interval.
+        batch: Each worker groups the points of every claim by their batch
+            signature and evaluates each group as one batched problem (see
+            :func:`run_campaign`).
 
     Returns:
         The aggregated :class:`CampaignRunSummary` (``workers`` set).
@@ -485,6 +547,7 @@ def run_campaign_workers(
             quotas[index],
             str(sweep_cache_dir) if sweep_cache_dir is not None else None,
             poll_seconds,
+            batch,
         )
         for index in range(workers)
     ]

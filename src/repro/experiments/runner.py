@@ -245,6 +245,52 @@ def _cache_file(cache_dir: Union[str, os.PathLike], sweep_point: SweepPoint) -> 
     return FilePath(cache_dir) / f"{name}-{sweep_point.config_hash()[:16]}.pkl"
 
 
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+_CACHE_MISS = object()
+
+
+def _read_cache(cache_path: Optional[FilePath], sweep_point: SweepPoint) -> Any:
+    """The cached value of a point, or :data:`_CACHE_MISS`.
+
+    A corrupt or truncated entry (killed writer, disk trouble, unpicklable
+    class change) must never sink the sweep: the entry is dropped with a
+    warning and the caller recomputes the point.
+    """
+    if cache_path is None or not cache_path.exists():
+        return _CACHE_MISS
+    try:
+        with open(cache_path, "rb") as handle:
+            return pickle.load(handle)
+    except Exception as error:
+        _LOGGER.warning(
+            "discarding corrupt sweep cache entry %s for point %r (%s: %s); "
+            "recomputing",
+            cache_path,
+            sweep_point.label,
+            type(error).__name__,
+            error,
+        )
+        cache_path.unlink(missing_ok=True)
+        return _CACHE_MISS
+
+
+def _write_cache(cache_path: FilePath, result: Any) -> None:
+    """Atomically publish a point's result so parallel workers never observe
+    partial pickles."""
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(dir=cache_path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(temp_name, cache_path)
+    except Exception:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
 def execute_point(
     sweep_point: SweepPoint, cache_dir: Optional[Union[str, os.PathLike]] = None
 ) -> Any:
@@ -255,40 +301,12 @@ def execute_point(
     parallel/serial result equality.
     """
     cache_path = _cache_file(cache_dir, sweep_point) if cache_dir else None
-    if cache_path is not None and cache_path.exists():
-        try:
-            with open(cache_path, "rb") as handle:
-                return pickle.load(handle)
-        except Exception as error:
-            # A corrupt or truncated entry (killed writer, disk trouble,
-            # unpicklable class change) must never sink the sweep: drop the
-            # entry, say so, and recompute the point.
-            _LOGGER.warning(
-                "discarding corrupt sweep cache entry %s for point %r (%s: %s); "
-                "recomputing",
-                cache_path,
-                sweep_point.label,
-                type(error).__name__,
-                error,
-            )
-            cache_path.unlink(missing_ok=True)
+    cached = _read_cache(cache_path, sweep_point)
+    if cached is not _CACHE_MISS:
+        return cached
     result = resolve_function(sweep_point.function)(**sweep_point.kwargs())
     if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish so parallel workers never observe partial pickles.
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=cache_path.parent, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(result, handle)
-            os.replace(temp_name, cache_path)
-        except Exception:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        _write_cache(cache_path, result)
     return result
 
 
@@ -340,6 +358,125 @@ def execute_point_outcome(
     return PointOutcome(
         point=sweep_point, value=value, elapsed_s=time.perf_counter() - start
     )
+
+
+#: The scenario sweep entry point — the only function the batch planner
+#: understands (its single ``spec`` parameter is a full scenario spec dict).
+SCENARIO_POINT_FUNCTION = "repro.scenario.engine:run_scenario_dict"
+
+
+def batch_signature(sweep_point: SweepPoint) -> Optional[str]:
+    """The grouping key under which a point may share a batched evaluation.
+
+    Points with equal signatures declare identical ``topology``, ``power``
+    and ``routing`` sections, so one built network stack can serve them all
+    (see :func:`~repro.scenario.engine.build_scenario_group`).  Returns
+    ``None`` for points the planner must not group: non-scenario points,
+    malformed specs, and eventful scenarios (whose failure-adjusted topology
+    views are per-point state).
+    """
+    if sweep_point.function != SCENARIO_POINT_FUNCTION:
+        return None
+    spec = sweep_point.kwargs().get("spec")
+    if not isinstance(spec, Mapping):
+        return None
+    if spec.get("events"):
+        return None
+    sections = {
+        section: _canonical_value(spec.get(section))
+        for section in ("topology", "power", "routing")
+    }
+    return json.dumps(sections, sort_keys=True, separators=(",", ":"))
+
+
+def plan_point_batches(points: Sequence[SweepPoint]) -> List[List[int]]:
+    """Partition point indices into batchable groups.
+
+    Points sharing a :func:`batch_signature` land in one group; every
+    ungroupable point (``None`` signature) forms a singleton.  Groups are
+    ordered by first occurrence and indices stay ascending within each
+    group, so a batch-executed campaign visits points in the same order a
+    serial one does, group by group.
+    """
+    groups: Dict[Any, List[int]] = {}
+    for index, sweep_point in enumerate(points):
+        signature = batch_signature(sweep_point)
+        key: Any = ("solo", index) if signature is None else ("group", signature)
+        groups.setdefault(key, []).append(index)
+    return list(groups.values())
+
+
+def execute_scenario_batch(
+    points: Sequence[SweepPoint],
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+) -> List[PointOutcome]:
+    """Run one batch group of scenario points as a single grouped problem.
+
+    The fast path builds every uncached spec through
+    :func:`~repro.scenario.engine.build_scenario_group` and drives them in
+    one interval-major pass — results are bit-identical to per-point serial
+    execution.  Cached points are served from disk exactly as
+    :func:`execute_point` would.  On any grouping or execution failure the
+    whole group falls back to per-point :func:`execute_point_outcome`, which
+    reproduces serial error isolation (and serial tracebacks) point by
+    point.  Outcomes preserve input order.
+    """
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[int] = []
+    for index, sweep_point in enumerate(points):
+        cache_path = _cache_file(cache_dir, sweep_point) if cache_dir else None
+        start = time.perf_counter()
+        cached = _read_cache(cache_path, sweep_point)
+        if cached is _CACHE_MISS:
+            pending.append(index)
+        else:
+            outcomes[index] = PointOutcome(
+                point=sweep_point,
+                value=cached,
+                elapsed_s=time.perf_counter() - start,
+            )
+    signatures = {batch_signature(points[index]) for index in pending}
+    if len(pending) > 1 and len(signatures) == 1 and None not in signatures:
+        start = time.perf_counter()
+        results: Optional[List[Any]]
+        try:
+            # Deferred: plain sweeps stay scenario-import-light.
+            from ..scenario.engine import (
+                build_scenario_group,
+                run_built_scenarios_batch,
+            )
+
+            builts = build_scenario_group(
+                [points[index].kwargs()["spec"] for index in pending]
+            )
+            results = run_built_scenarios_batch(builts)
+        except Exception:
+            # Any failure inside the grouped path (one bad spec, a scheme
+            # error) falls back to per-point execution below, which isolates
+            # the failure to its own point.
+            results = None
+        if results is not None:
+            share = (time.perf_counter() - start) / len(pending)
+            for position, index in enumerate(pending):
+                sweep_point = points[index]
+                result = results[position]
+                try:
+                    if cache_dir:
+                        _write_cache(_cache_file(cache_dir, sweep_point), result)
+                except Exception:
+                    outcomes[index] = PointOutcome(
+                        point=sweep_point,
+                        error=traceback.format_exc(),
+                        elapsed_s=share,
+                    )
+                else:
+                    outcomes[index] = PointOutcome(
+                        point=sweep_point, value=result, elapsed_s=share
+                    )
+            return [outcome for outcome in outcomes if outcome is not None]
+    for index in pending:
+        outcomes[index] = execute_point_outcome(points[index], cache_dir)
+    return [outcome for outcome in outcomes if outcome is not None]
 
 
 def suggest_chunk_size(

@@ -218,7 +218,11 @@ def solve_mcf(
     max_utilisation = max(
         (arc_loads[arc.key] / arc.capacity_bps for arc in arcs), default=0.0
     )
-    return MCFResult(True, max_utilisation, arc_loads, float(solution.sum()) * scale)
+    # Fixed-order summation: np.sum's accumulation tree can depend on the
+    # buffer's alignment, wobbling the last ULP between interpreter runs.
+    from ..simulator.fairness import pairwise_sum
+
+    return MCFResult(True, max_utilisation, arc_loads, float(pairwise_sum(solution)) * scale)
 
 
 def is_demand_feasible(

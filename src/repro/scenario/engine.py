@@ -14,8 +14,9 @@ which is what makes a spec's
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from ..power.accounting import full_power
@@ -27,7 +28,7 @@ from ..traffic.replay import TrafficTrace
 from .components import BuiltTraffic, as_built_traffic
 from .schemes import SchemeOutcome
 from .spec import ScenarioSpec
-from .timeline import run_timeline
+from .timeline import GroupComputeCache, TimelineRun, run_timeline, run_timeline_batch
 
 
 @dataclass
@@ -54,6 +55,11 @@ class BuiltScenario:
     baseline_power_w: float
     routing: Optional[RoutingTable] = None
     traffic: Optional[BuiltTraffic] = None
+    #: Group-shared computation cache, set by the batch planner when this
+    #: scenario runs as part of a batched group (see
+    #: :class:`~repro.scenario.timeline.GroupComputeCache`); ``None`` for
+    #: solo runs.  Scheme runtimes treat it as optional.
+    shared: Optional[Any] = None
 
     @property
     def utilisation_threshold(self) -> float:
@@ -314,7 +320,11 @@ def run_scenario(
 
 def run_built_scenario(built: BuiltScenario) -> ScenarioResult:
     """Drive an already-built scenario's schemes over its merged timeline."""
-    run = run_timeline(built)
+    return _result_from_run(built, run_timeline(built))
+
+
+def _result_from_run(built: BuiltScenario, run: TimelineRun) -> ScenarioResult:
+    """Assemble the uniform result from a completed timeline run."""
     threshold = built.spec.utilisation_threshold
     utilisation = {
         label: scheme_run.max_utilisation() for label, scheme_run in run.schemes.items()
@@ -357,6 +367,105 @@ def run_scenario_dict(spec: Mapping[str, Any]) -> ScenarioResult:
     — equal specs hash (and cache) identically across processes.
     """
     return run_scenario(ScenarioSpec.from_dict(spec))
+
+
+def _section_key(section: Any) -> str:
+    """A canonical JSON key for one section of a spec dict."""
+    return json.dumps(section, sort_keys=True, separators=(",", ":"))
+
+
+def build_scenario_group(specs: Sequence[Any]) -> List[BuiltScenario]:
+    """Build many specs as one group, sharing everything shareable.
+
+    All specs must declare identical ``topology``, ``power`` and ``routing``
+    sections (the batch planner's grouping key guarantees this).  The group
+    shares one built :class:`Topology` and :class:`PowerModel` object, one
+    baseline-power evaluation, one built workload per distinct traffic
+    section and one routing table per distinct (routing, pairs) combination.
+    Every returned :class:`BuiltScenario` carries the same
+    :class:`~repro.scenario.timeline.GroupComputeCache` in ``shared``, which
+    scheme runtimes use to reuse candidate paths, plans and solver calls
+    across the group's points.
+
+    Because the shared objects are built by exactly the same calls a solo
+    :func:`build_scenario` would make, each returned scenario runs
+    bit-identically to its solo build.
+    """
+    scenario_specs = [_coerce_spec(spec).validate() for spec in specs]
+    if not scenario_specs:
+        return []
+    head = scenario_specs[0].to_dict()
+    for scenario_spec in scenario_specs[1:]:
+        other = scenario_spec.to_dict()
+        for section in ("topology", "power", "routing"):
+            if _section_key(head.get(section)) != _section_key(other.get(section)):
+                raise ConfigurationError(
+                    f"cannot group scenarios with differing {section!r} sections"
+                )
+
+    shared_topology = scenario_specs[0].topology.build()
+    shared_model = scenario_specs[0].power.build(shared_topology)
+    baseline_power_w = full_power(shared_topology, shared_model).total_w
+    shared_cache = GroupComputeCache()
+
+    traffic_cache: Dict[str, BuiltTraffic] = {}
+    routing_cache: Dict[Tuple[str, Tuple[Pair, ...]], RoutingTable] = {}
+    builts: List[BuiltScenario] = []
+    for scenario_spec in scenario_specs:
+        spec_dict = scenario_spec.to_dict()
+        traffic_key = _section_key(spec_dict.get("traffic"))
+        built_traffic = traffic_cache.get(traffic_key)
+        if built_traffic is None:
+            built_traffic = as_built_traffic(
+                scenario_spec.traffic.build(shared_topology),
+                scenario_spec.traffic.name,
+            )
+            traffic_cache[traffic_key] = built_traffic
+        routing = None
+        if scenario_spec.routing is not None:
+            routing_key = (
+                _section_key(spec_dict.get("routing")),
+                tuple(built_traffic.pairs),
+            )
+            routing = routing_cache.get(routing_key)
+            if routing is None:
+                routing = scenario_spec.routing.build(
+                    shared_topology, built_traffic.pairs
+                )
+                routing_cache[routing_key] = routing
+        builts.append(
+            BuiltScenario(
+                spec=scenario_spec,
+                topology=shared_topology,
+                power_model=shared_model,
+                trace=built_traffic.trace,
+                pairs=list(built_traffic.pairs),
+                baseline_power_w=baseline_power_w,
+                routing=routing,
+                traffic=built_traffic,
+                shared=shared_cache,
+            )
+        )
+    return builts
+
+
+def run_built_scenarios_batch(builts: Sequence[BuiltScenario]) -> List[ScenarioResult]:
+    """Run a group of built scenarios through one interval-major pass.
+
+    The companion to :func:`build_scenario_group`: all scenarios' timelines
+    advance together (see
+    :func:`~repro.scenario.timeline.run_timeline_batch`), so group-shared
+    caches stay hot across points.  Each result is assembled exactly as
+    :func:`run_built_scenario` would.
+    """
+    for built in builts:
+        if not built.spec.schemes:
+            raise ConfigurationError(
+                "the scenario names no schemes; add at least one to its"
+                " 'schemes' list"
+            )
+    runs = run_timeline_batch(builts)
+    return [_result_from_run(built, run) for built, run in zip(builts, runs)]
 
 
 def scheme_outcomes(built: BuiltScenario) -> Dict[str, SchemeOutcome]:

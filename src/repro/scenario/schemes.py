@@ -23,6 +23,7 @@ per-interval replay helpers in :mod:`repro.experiments.common` delegate to.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -162,6 +163,17 @@ def _configuration_of(solution: EnergyAwareSolution) -> RoutingConfiguration:
     )
 
 
+def _shared_cache(scenario: "BuiltScenario") -> Optional[Any]:
+    """The group-shared compute cache, when this run is part of a batch.
+
+    Solo runs (and drivers constructing :class:`BuiltScenario` by hand)
+    have none, in which case every runtime falls back to its per-replay
+    behaviour.  All memoised computations are pure functions of immutable
+    inputs, so a cache hit returns exactly what a fresh computation would.
+    """
+    return getattr(scenario, "shared", None)
+
+
 # --------------------------------------------------------------------- #
 # Per-interval solver runtimes (GreenTE, ElasticTree, greedy, LP, MILP)
 # --------------------------------------------------------------------- #
@@ -259,7 +271,17 @@ class GreenTERuntime(SolverReplayRuntime):
 
     def start(self, scenario: "BuiltScenario") -> _ReplayState:
         state = super().start(scenario)
-        state.extra["candidates"] = CachedCandidatePaths(self.k)
+        shared = _shared_cache(scenario)
+        if shared is not None:
+            # One candidate cache per (group, k): every point of the group
+            # sees the same topology object, so the k-shortest computation
+            # is paid once for the whole batch.
+            state.extra["candidates"] = shared.memo(
+                ("greente-candidates", self.k),
+                lambda: CachedCandidatePaths(self.k),
+            )
+        else:
+            state.extra["candidates"] = CachedCandidatePaths(self.k)
         return state
 
     def solve(
@@ -269,16 +291,42 @@ class GreenTERuntime(SolverReplayRuntime):
         pairs = scenario.pairs
         if view.has_failures:
             pairs = view.connected_pairs(pairs)
-        candidate_paths = state.extra["candidates"].for_pairs(view.topology, pairs)
-        return greente_heuristic(
-            view.topology,
-            scenario.power_model,
-            matrix,
-            k=self.k,
-            utilisation_limit=self.utilisation_limit,
-            candidate_paths=candidate_paths,
-            allow_overload=True,
-            ordering=self.ordering,
+
+        def compute() -> EnergyAwareSolution:
+            candidate_paths = state.extra["candidates"].for_pairs(
+                view.topology, pairs
+            )
+            return greente_heuristic(
+                view.topology,
+                scenario.power_model,
+                matrix,
+                k=self.k,
+                utilisation_limit=self.utilisation_limit,
+                candidate_paths=candidate_paths,
+                allow_overload=True,
+                ordering=self.ordering,
+            )
+
+        shared = _shared_cache(scenario)
+        if shared is None:
+            return compute()
+        # The heuristic is a pure function of these inputs; TrafficMatrix
+        # hashes by content, so points sharing a demand matrix share the
+        # solve.  The topology/power objects are pinned so their ids stay
+        # unique for the cache's lifetime.
+        return shared.memo(
+            (
+                "greente-solve",
+                self.k,
+                self.utilisation_limit,
+                self.ordering,
+                id(view.topology),
+                id(scenario.power_model),
+                tuple(pairs),
+                matrix,
+            ),
+            compute,
+            pin=(view.topology, scenario.power_model),
         )
 
 
@@ -462,16 +510,42 @@ class ECMPRuntime(SchemeRuntime):
         effective = matrix
         if view.has_failures:
             effective = matrix.restricted_to(view.connected_pairs(matrix.pairs()))
-        nodes, links = ecmp_active_elements(view.topology, effective)
-        breakdown = network_power(scenario.topology, scenario.power_model, nodes, links)
-        configuration = RoutingConfiguration(frozenset(nodes), frozenset(links))
+
+        def compute() -> Tuple[Any, Any, float, float]:
+            nodes, links = ecmp_active_elements(view.topology, effective)
+            breakdown = network_power(
+                scenario.topology, scenario.power_model, nodes, links
+            )
+            return (
+                frozenset(nodes),
+                frozenset(links),
+                breakdown.total_w,
+                ecmp_max_utilisation(view.topology, effective),
+            )
+
+        shared = _shared_cache(scenario)
+        if shared is None:
+            nodes, links, total_w, max_utilisation = compute()
+        else:
+            nodes, links, total_w, max_utilisation = shared.memo(
+                (
+                    "ecmp-core",
+                    id(view.topology),
+                    id(scenario.topology),
+                    id(scenario.power_model),
+                    effective,
+                ),
+                compute,
+                pin=(view.topology, scenario.topology, scenario.power_model),
+            )
+        configuration = RoutingConfiguration(nodes, links)
         recomputed = bool(state.configurations) and (
             configuration != state.configurations[-1]
         )
         state.configurations.append(configuration)
         return IntervalOutcome(
-            power_percent=100.0 * breakdown.total_w / scenario.baseline_power_w,
-            max_utilisation=ecmp_max_utilisation(view.topology, effective),
+            power_percent=100.0 * total_w / scenario.baseline_power_w,
+            max_utilisation=max_utilisation,
             recomputed=recomputed,
         )
 
@@ -546,13 +620,40 @@ class ResponseRuntime(SchemeRuntime):
         self.use_peak_matrix = use_peak_matrix
 
     def start(self, scenario: "BuiltScenario") -> _ResponseState:
-        plan = build_response_plan(
-            scenario.topology,
-            scenario.power_model,
-            pairs=scenario.pairs,
-            peak_matrix=scenario.peak_matrix() if self.use_peak_matrix else None,
-            config=self.config,
-        )
+        peak = scenario.peak_matrix() if self.use_peak_matrix else None
+
+        def compute() -> Any:
+            return build_response_plan(
+                scenario.topology,
+                scenario.power_model,
+                pairs=scenario.pairs,
+                peak_matrix=peak,
+                config=self.config,
+            )
+
+        shared = _shared_cache(scenario)
+        if shared is None:
+            plan = compute()
+        else:
+            # The offline pipeline depends only on these inputs, so points
+            # of a group (same topology/power/pairs/peak) share one plan
+            # build.  Each point gets a shallow copy: the lazily computed
+            # ``failover`` slot mutates per point and must not leak between
+            # them.
+            plan = copy.copy(
+                shared.memo(
+                    (
+                        "response-plan",
+                        repr(self.config),
+                        id(scenario.topology),
+                        id(scenario.power_model),
+                        tuple(scenario.pairs),
+                        peak,
+                    ),
+                    compute,
+                    pin=(scenario.topology, scenario.power_model),
+                )
+            )
         threshold = (
             self.utilisation_threshold
             if self.utilisation_threshold is not None
@@ -643,12 +744,29 @@ class AlwaysOnRuntime(SchemeRuntime):
         )
 
     def start(self, scenario: "BuiltScenario") -> Dict[str, Any]:
-        always_on = compute_always_on(
-            scenario.topology,
-            scenario.power_model,
-            pairs=scenario.pairs,
-            config=self.config,
-        )
+        def compute() -> Any:
+            return compute_always_on(
+                scenario.topology,
+                scenario.power_model,
+                pairs=scenario.pairs,
+                config=self.config,
+            )
+
+        shared = _shared_cache(scenario)
+        if shared is None:
+            always_on = compute()
+        else:
+            always_on = shared.memo(
+                (
+                    "always-on",
+                    repr(self.config),
+                    id(scenario.topology),
+                    id(scenario.power_model),
+                    tuple(scenario.pairs),
+                ),
+                compute,
+                pin=(scenario.topology, scenario.power_model),
+            )
         return {
             "always_on": always_on,
             "percent": 100.0 * always_on.power_w / scenario.baseline_power_w,

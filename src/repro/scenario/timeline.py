@@ -624,6 +624,68 @@ class TimelineRun:
     reaction: Dict[str, List[Dict[str, Any]]]
 
 
+class GroupComputeCache:
+    """Memoised shared computations for a batch of scenarios on one topology.
+
+    The batch planner builds every scenario of a group against the *same*
+    topology/power objects and attaches one of these caches to each
+    :class:`~repro.scenario.engine.BuiltScenario` (its ``shared`` field).
+    Scheme runtimes consult it in ``start``/``step``: the first point of a
+    group pays for a REsPoNse plan, a GreenTE solve or an ECMP expansion,
+    and every other point whose inputs are the *same objects* reuses the
+    value.  Keys embed ``id(...)`` of the shared inputs, so the cache pins
+    strong references to them — an id must never outlive its object.
+
+    Sharing never changes a value: a memoised computation is a pure
+    function of inputs that are identical (same objects) across the group,
+    so each point's results stay bit-identical to a solo run.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Any, Any] = {}
+        self._pins: List[Any] = []
+
+    def memo(self, key: Any, factory, pin: Sequence[Any] = ()) -> Any:
+        """The cached value for *key*, computing it via *factory* once."""
+        if key not in self._values:
+            self._values[key] = factory()
+            self._pins.extend(pin)
+        return self._values[key]
+
+
+def _step_scheme(
+    runtime: SchemeRuntime,
+    state: Any,
+    step: TimelineStep,
+    threshold: float,
+    outcomes: List[IntervalOutcome],
+    records: List[Dict[str, Any]],
+) -> None:
+    """Advance one scheme by one timeline step, collecting its records."""
+    started = time.perf_counter()
+    outcome = runtime.step(state, step.time_s, step.matrix, step.view)
+    outcome.compute_seconds = time.perf_counter() - started
+    outcomes.append(outcome)
+    for fired in step.fired:
+        violation = (
+            None
+            if outcome.max_utilisation is None
+            else bool(outcome.max_utilisation > threshold + 1e-9)
+        )
+        records.append(
+            {
+                **fired,
+                "interval_index": step.index,
+                "interval_s": step.time_s,
+                "recomputed": outcome.recomputed,
+                "compute_seconds": outcome.compute_seconds,
+                "power_percent": outcome.power_percent,
+                "max_utilisation": outcome.max_utilisation,
+                "violation": violation,
+            }
+        )
+
+
 def run_timeline(
     built: "BuiltScenario",
     schemes: Optional[Sequence[SchemeSpec]] = None,
@@ -658,28 +720,7 @@ def run_timeline(
         outcomes: List[IntervalOutcome] = []
         records: List[Dict[str, Any]] = []
         for step in timeline.steps:
-            started = time.perf_counter()
-            outcome = runtime.step(state, step.time_s, step.matrix, step.view)
-            outcome.compute_seconds = time.perf_counter() - started
-            outcomes.append(outcome)
-            for fired in step.fired:
-                violation = (
-                    None
-                    if outcome.max_utilisation is None
-                    else bool(outcome.max_utilisation > threshold + 1e-9)
-                )
-                records.append(
-                    {
-                        **fired,
-                        "interval_index": step.index,
-                        "interval_s": step.time_s,
-                        "recomputed": outcome.recomputed,
-                        "compute_seconds": outcome.compute_seconds,
-                        "power_percent": outcome.power_percent,
-                        "max_utilisation": outcome.max_utilisation,
-                        "violation": violation,
-                    }
-                )
+            _step_scheme(runtime, state, step, threshold, outcomes, records)
         runs[scheme.label] = SchemeRun(
             label=scheme.label,
             outcomes=outcomes,
@@ -693,3 +734,108 @@ def run_timeline(
         schemes=runs,
         reaction=reaction,
     )
+
+
+@dataclass
+class _BatchSchemeState:
+    """One (scenario, scheme) pair being driven through the batched pass."""
+
+    spec: SchemeSpec
+    runtime: SchemeRuntime
+    state: Any
+    outcomes: List[IntervalOutcome] = field(default_factory=list)
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class _BatchEntry:
+    """One scenario of the batch: its timeline plus per-scheme progress."""
+
+    built: "BuiltScenario"
+    timeline: Timeline
+    threshold: float
+    schemes: List[_BatchSchemeState]
+
+
+def run_timeline_batch(builts: Sequence["BuiltScenario"]) -> List[TimelineRun]:
+    """Drive a whole group of built scenarios in one interval-major pass.
+
+    Where :func:`run_timeline` replays one scenario scheme by scheme, this
+    advances **all** points of a batch group one interval at a time: every
+    runtime is started up-front, then interval ``i`` of every (point,
+    scheme) pair runs before interval ``i+1`` of any.  Per (point, scheme)
+    the sequence of ``step`` calls — and therefore every computed value —
+    is exactly the serial one; only the interleaving across points changes,
+    which is what lets a group-shared :class:`GroupComputeCache` (attached
+    by the batch planner) convert repeated plan builds and solves into
+    lookups.  Wall-clock ``compute_seconds`` are the only fields that can
+    differ from a serial run, and every determinism-sensitive comparison
+    strips them.
+    """
+    entries: List[_BatchEntry] = []
+    for built in builts:
+        timeline = build_timeline(built.topology, built.trace, built.spec.events)
+        schemes: List[_BatchSchemeState] = []
+        for scheme in built.spec.schemes:
+            component = resolve("scheme", scheme.name)
+            runtime = as_runtime(component, scheme.kwargs())
+            if timeline.has_events and not runtime.event_capable:
+                raise ConfigurationError(
+                    f"scheme {scheme.label!r} does not support dynamic events; "
+                    "implement it as a SchemeRuntime to use the events axis"
+                )
+            schemes.append(
+                _BatchSchemeState(
+                    spec=scheme, runtime=runtime, state=runtime.start(built)
+                )
+            )
+        entries.append(
+            _BatchEntry(
+                built=built,
+                timeline=timeline,
+                threshold=built.spec.utilisation_threshold,
+                schemes=schemes,
+            )
+        )
+
+    # The interval-major pass.  Traces may differ in length across the
+    # group; a shorter point simply stops participating early.
+    max_steps = max((len(entry.timeline.steps) for entry in entries), default=0)
+    for step_index in range(max_steps):
+        for entry in entries:
+            if step_index >= len(entry.timeline.steps):
+                continue
+            step = entry.timeline.steps[step_index]
+            for scheme in entry.schemes:
+                _step_scheme(
+                    scheme.runtime,
+                    scheme.state,
+                    step,
+                    entry.threshold,
+                    scheme.outcomes,
+                    scheme.records,
+                )
+
+    results: List[TimelineRun] = []
+    for entry in entries:
+        runs: Dict[str, SchemeRun] = {}
+        reaction: Dict[str, List[Dict[str, Any]]] = {}
+        for scheme in entry.schemes:
+            runs[scheme.spec.label] = SchemeRun(
+                label=scheme.spec.label,
+                outcomes=scheme.outcomes,
+                details=scheme.runtime.finish(scheme.state),
+                recomputations=scheme.runtime.recomputations(
+                    scheme.state, scheme.outcomes
+                ),
+            )
+            reaction[scheme.spec.label] = scheme.records
+        results.append(
+            TimelineRun(
+                times_s=entry.built.trace.timestamps(),
+                events=entry.timeline.fired_records(),
+                schemes=runs,
+                reaction=reaction,
+            )
+        )
+    return results

@@ -98,6 +98,155 @@ def max_min_fair_rates(
     return allocation
 
 
+def pairwise_sum(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Fixed-order pairwise summation along *axis*.
+
+    ``np.sum`` on some platforms picks its accumulation tree from the
+    buffer's memory alignment, so two interpreter invocations can differ in
+    the last ULP on the same data.  This reduction instead halves the axis
+    with element-wise adds — ``a[0::2] + a[1::2]`` repeatedly, carrying a
+    trailing odd element verbatim — so the evaluation tree depends only on
+    the length, never on where the allocator placed the buffer.
+    """
+    array = np.asarray(values, dtype=float)
+    array = np.moveaxis(array, axis, -1)
+    if array.shape[-1] == 0:
+        return np.zeros(array.shape[:-1], dtype=float)
+    while array.shape[-1] > 1:
+        length = array.shape[-1]
+        paired = array[..., 0 : length - (length % 2) : 2] + array[..., 1::2]
+        if length % 2:
+            paired = np.concatenate([paired, array[..., -1:]], axis=-1)
+        array = paired
+    return array[..., 0]
+
+
+def batch_max_min_fair_rates(
+    demands: np.ndarray,
+    flat_flow: np.ndarray,
+    flat_arc: np.ndarray,
+    arc_capacity: np.ndarray,
+) -> np.ndarray:
+    """Max-min fair rates for a whole batch of demand vectors at once.
+
+    Batch elements share one flows×arcs incidence (points on the same
+    topology with the same compiled paths); each element carries its own
+    demand vector and, optionally, its own capacity vector.  Every batch
+    element produces **bit-identical** output to running
+    :func:`max_min_fair_rates` on it alone: the same freezing thresholds,
+    the same per-element arithmetic (integer share counts, element-wise
+    divisions, subtractions and minima — never an order-sensitive float
+    accumulation) and the same termination conditions, tracked per element
+    through an ``alive`` mask so a finished element's allocation is frozen
+    while the rest keep filling.
+
+    Args:
+        demands: Offered load per flow (bps), shape ``(batch, num_flows)``.
+        flat_flow: Flow index of every incidence entry (shared).
+        flat_arc: Arc index of every incidence entry (shared).
+        arc_capacity: Allocation capacity per arc, shape ``(num_arcs,)``
+            (shared) or ``(batch, num_arcs)`` (per element).
+
+    Returns:
+        The allocated rate per flow, shape ``(batch, num_flows)``.
+    """
+    demands = np.asarray(demands, dtype=float)
+    if demands.ndim != 2:
+        raise ValueError(
+            f"batched demands must have shape (batch, num_flows), got {demands.shape}"
+        )
+    batch, num_flows = int(demands.shape[0]), int(demands.shape[1])
+    allocation = np.zeros((batch, num_flows), dtype=float)
+    if batch == 0 or num_flows == 0:
+        return allocation
+
+    flat_flow = np.asarray(flat_flow, dtype=np.int64)
+    flat_arc = np.asarray(flat_arc, dtype=np.int64)
+    capacity = np.asarray(arc_capacity, dtype=float)
+    if capacity.ndim == 1:
+        capacity = np.repeat(capacity[None, :].astype(float), batch, axis=0)
+    elif capacity.ndim == 2:
+        if int(capacity.shape[0]) != batch:
+            raise ValueError(
+                f"per-element capacity has batch {capacity.shape[0]}, "
+                f"demands have batch {batch}"
+            )
+        capacity = capacity.astype(float).copy()
+    else:
+        raise ValueError(
+            f"arc_capacity must be 1- or 2-dimensional, got shape {capacity.shape}"
+        )
+    num_arcs = int(capacity.shape[1])
+
+    pending = demands.astype(float).copy()
+    if flat_arc.size:
+        crossed_at_all = np.bincount(flat_arc, minlength=num_arcs) > 0
+    else:
+        crossed_at_all = np.zeros(num_arcs, dtype=bool)
+    active = np.ones((batch, num_flows), dtype=bool)
+    #: Per-element "still filling" flag: replicates the serial loop's break
+    #: conditions element by element, so a finished element's state never
+    #: changes again while the rest of the batch continues.
+    alive = np.ones(batch, dtype=bool)
+
+    # The serial iteration bound depends only on the shared incidence, so
+    # one shared bound covers every batch element.
+    for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
+        alive &= active.any(axis=1)
+        if not alive.any():
+            break
+        if flat_arc.size:
+            # Integer share counts: addition order cannot affect the value.
+            counts_int = np.zeros((batch, num_arcs), dtype=np.int64)
+            np.add.at(
+                counts_int, (slice(None), flat_arc), active[:, flat_flow]
+            )
+            counts = counts_int.astype(float)
+        else:
+            counts = np.zeros((batch, num_arcs), dtype=float)
+        crossed = counts > 0
+        if num_arcs:
+            ratio = np.divide(
+                capacity,
+                counts,
+                out=np.full_like(capacity, np.inf),
+                where=crossed,
+            )
+            share_limited = ratio.min(axis=1)
+        else:
+            share_limited = np.full(batch, np.inf)
+        demand_limited = np.where(active, pending, np.inf).min(axis=1)
+        step = np.minimum(share_limited, demand_limited)
+        # An infinite step terminates the element before any update — the
+        # serial algorithm's "break before applying" order.
+        alive &= ~np.isinf(step)
+        if not alive.any():
+            break
+        step = np.where(alive, np.maximum(step, 0.0), 0.0)
+        grow = active & alive[:, None]
+        allocation = np.where(grow, allocation + step[:, None], allocation)
+        pending = np.where(grow, pending - step[:, None], pending)
+        capacity = np.where(
+            alive[:, None], capacity - step[:, None] * counts, capacity
+        )
+        # Freeze demand-satisfied flows and flows on exhausted arcs, only
+        # for elements still filling.
+        active_before = active.sum(axis=1)
+        active = np.where(alive[:, None], active & (pending > DEMAND_EPSILON), active)
+        if flat_arc.size:
+            exhausted = crossed_at_all[None, :] & (capacity <= CAPACITY_EPSILON)
+            kill = exhausted[:, flat_arc] & alive[:, None]
+            if kill.any():
+                deactivate = np.zeros((batch, num_flows), dtype=bool)
+                np.logical_or.at(deactivate, (slice(None), flat_flow), kill)
+                active &= ~deactivate
+        # Same zero-step rule as the serial loop: a zero step that froze
+        # nobody means the element makes no further progress.
+        no_progress = (step <= STEP_EPSILON) & (active.sum(axis=1) == active_before)
+        alive &= ~no_progress
+    return allocation
+
+
 def build_incidence(compiled_paths) -> "tuple[np.ndarray, np.ndarray]":
     """Flat ``(flat_flow, flat_arc)`` incidence arrays for compiled paths.
 

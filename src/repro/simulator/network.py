@@ -10,7 +10,7 @@ operations (see :mod:`repro.simulator.fairness`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from ..power.model import PowerModel
 from ..routing.paths import Path
 from ..topology.base import Topology, link_key
 from .arcs import ArcTable, CompiledPath
-from .fairness import build_incidence, max_min_fair_rates
+from .fairness import batch_max_min_fair_rates, build_incidence, max_min_fair_rates
 from .flows import Flow, offered_load_vector
 from .links import LinkState, SimulatedLink
 
@@ -177,6 +177,48 @@ class SimulatedNetwork:
                 weights=allocation[flat_flow],
                 minlength=self._arc_table.num_arcs,
             )
+
+    def allocate_rates_batch(
+        self, flows: List[Flow], times_s: Sequence[float]
+    ) -> np.ndarray:
+        """Max-min fair rates at many instants, solved as one batched problem.
+
+        All instants share one compiled flows×arcs incidence; the filling
+        runs through :func:`repro.simulator.fairness.batch_max_min_fair_rates`
+        with a leading batch dimension over the time axis.  Row ``i`` of the
+        returned ``(len(times_s), len(flows))`` array is bit-identical to
+        calling :meth:`allocate_rates` at ``times_s[i]`` and reading off
+        ``flow.rate_bps`` — but unlike :meth:`allocate_rates` this is a pure
+        query: flow rates and arc loads are left untouched.
+        """
+        times = [float(time) for time in times_s]
+        rates = np.zeros((len(times), len(flows)), dtype=float)
+        if not flows or not times:
+            return rates
+
+        usable = self.link_usable_vector()
+        routable_indices: List[int] = []
+        compiled: List[CompiledPath] = []
+        for index, flow in enumerate(flows):
+            if flow.path is None:
+                continue
+            path = self._arc_table.compile_path(flow.path)
+            if path.link_indices.size == 0 or bool(usable[path.link_indices].all()):
+                routable_indices.append(index)
+                compiled.append(path)
+        if not routable_indices:
+            return rates
+
+        routable = [flows[index] for index in routable_indices]
+        demands = np.stack(
+            [offered_load_vector(routable, time) for time in times]
+        )
+        flat_flow, flat_arc = build_incidence(compiled)
+        allocation = batch_max_min_fair_rates(
+            demands, flat_flow, flat_arc, self._alloc_capacity
+        )
+        rates[:, routable_indices] = allocation
+        return rates
 
     # ------------------------------------------------------------------ #
     # Array-indexed views (the vectorized engine's fast path)

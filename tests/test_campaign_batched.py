@@ -1,0 +1,353 @@
+"""Differential battery for batched campaign execution (``--batch``).
+
+Pins the tentpole guarantee — a batched campaign store is
+``canonical_dump``-bit-identical to a serial one — across every execution
+shape: the full 24-point bench grid, mixed grids where only some points
+share a topology, eventful grids (never grouped), worker fleets, and
+resume-after-kill mid-batch-group.  The planner itself
+(:func:`~repro.experiments.runner.plan_point_batches` /
+:func:`~repro.experiments.runner.batch_signature`) is unit-tested for its
+grouping rules, and a two-subprocess test pins cross-interpreter dump
+stability (the fixed-order summation fix).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.campaign.run as campaign_run
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign, run_campaign_workers
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import (
+    batch_signature,
+    main,
+    plan_point_batches,
+    point,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_campaign import campaign_spec as bench_campaign_spec  # noqa: E402
+
+
+# --------------------------------------------------------------------- #
+# Fixtures: cheap scenario stacks (mirrors tests/test_campaign_workers.py)
+# --------------------------------------------------------------------- #
+def base_scenario():
+    return {
+        "topology": "geant",
+        "traffic": {
+            "name": "uniform",
+            "params": {"num_pairs": 6, "num_endpoints": 5, "flow_bps": 1e8, "seed": 0},
+        },
+        "power": "cisco",
+        "schemes": [{"name": "response", "params": {"num_paths": 2, "k": 2}}, "ecmp"],
+    }
+
+
+def campaign_dict(name="grid", axes=None):
+    return {
+        "name": name,
+        "base": base_scenario(),
+        "axes": axes
+        if axes is not None
+        else {"seed": [0, 1], "set": {"traffic.flow_bps": [1e8, 1.5e8]}},
+    }
+
+
+def mixed_topology_campaign(name="mixed"):
+    """Four points; only same-topology pairs may share a batch group."""
+    return campaign_dict(name, axes={"topology": ["geant", "abovenet"], "seed": [0, 1]})
+
+
+def eventful_campaign(name="eventful"):
+    """Four points; half carry an event schedule and must never group."""
+    failure = [
+        {
+            "name": "link-failure",
+            "params": {"time_s": 900.0, "link": ["DE", "FR"], "repair_s": 1800.0},
+        }
+    ]
+    return campaign_dict(name, axes={"events": [[], failure], "seed": [0, 1]})
+
+
+def expanded_sweep_points(spec_dict):
+    return [p.spec.sweep_point() for p in CampaignSpec.from_dict(spec_dict).expand()]
+
+
+def canonical(store_path, campaign_id):
+    with CampaignStore(store_path) as store:
+        return store.canonical_dump(campaign_id)
+
+
+def serial_and_batched_dumps(spec_dict, tmp_path):
+    if isinstance(spec_dict, CampaignSpec):
+        spec = spec_dict
+    else:
+        spec = CampaignSpec.from_dict(spec_dict)
+    serial = run_campaign(spec, store_path=tmp_path / "serial.sqlite")
+    batched = run_campaign(spec, store_path=tmp_path / "batched.sqlite", batch=True)
+    assert serial.failed == 0 and batched.failed == 0
+    assert batched.executed == serial.executed
+    return (
+        canonical(tmp_path / "serial.sqlite", serial.campaign_id),
+        canonical(tmp_path / "batched.sqlite", batched.campaign_id),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Planner unit tests: grouping rules
+# --------------------------------------------------------------------- #
+def test_uniform_grid_shares_one_signature():
+    points = expanded_sweep_points(campaign_dict())
+    signatures = {batch_signature(p) for p in points}
+    assert len(signatures) == 1 and None not in signatures
+    assert plan_point_batches(points) == [[0, 1, 2, 3]]
+
+
+def test_non_scenario_points_are_never_grouped():
+    points = [point("json:dumps", obj=1), point("json:dumps", obj=1)]
+    assert all(batch_signature(p) is None for p in points)
+    assert plan_point_batches(points) == [[0], [1]]
+
+
+def test_eventful_points_are_singletons():
+    points = expanded_sweep_points(eventful_campaign())
+    eventless = [
+        i for i, p in enumerate(points) if not p.kwargs()["spec"].get("events")
+    ]
+    eventful = [i for i, p in enumerate(points) if p.kwargs()["spec"].get("events")]
+    assert len(eventless) == 2 and len(eventful) == 2
+    groups = plan_point_batches(points)
+    assert sorted(i for group in groups for i in group) == [0, 1, 2, 3]
+    assert eventless in groups  # the event-free pair batches together
+    for index in eventful:
+        assert [index] in groups  # eventful points never group
+
+
+def test_mixed_topology_grid_groups_by_topology():
+    points = expanded_sweep_points(mixed_topology_campaign())
+    groups = plan_point_batches(points)
+    assert len(groups) == 2 and all(len(group) == 2 for group in groups)
+    # First-occurrence order with ascending indices inside each group.
+    assert groups[0][0] == 0
+    for group in groups:
+        assert group == sorted(group)
+        topologies = {
+            json.dumps(points[i].kwargs()["spec"]["topology"], sort_keys=True)
+            for i in group
+        }
+        assert len(topologies) == 1
+
+
+def test_singleton_group_matches_serial(tmp_path):
+    spec_dict = campaign_dict("single", axes={"seed": [7]})
+    serial_dump, batched_dump = serial_and_batched_dumps(spec_dict, tmp_path)
+    assert batched_dump == serial_dump
+
+
+# --------------------------------------------------------------------- #
+# Differential identity: batched == serial, bit for bit
+# --------------------------------------------------------------------- #
+def test_batched_dump_identical_to_serial(tmp_path):
+    serial_dump, batched_dump = serial_and_batched_dumps(campaign_dict(), tmp_path)
+    assert batched_dump == serial_dump
+
+
+def test_batched_mixed_topology_dump_identical_to_serial(tmp_path):
+    serial_dump, batched_dump = serial_and_batched_dumps(
+        mixed_topology_campaign(), tmp_path
+    )
+    assert batched_dump == serial_dump
+
+
+def test_batched_eventful_dump_identical_to_serial(tmp_path):
+    serial_dump, batched_dump = serial_and_batched_dumps(
+        eventful_campaign(), tmp_path
+    )
+    assert batched_dump == serial_dump
+
+
+def test_batched_bench_grid_dump_identical_to_serial(tmp_path):
+    """The full 24-point bench grid: the tentpole's headline identity."""
+    serial_dump, batched_dump = serial_and_batched_dumps(
+        bench_campaign_spec(), tmp_path
+    )
+    assert batched_dump == serial_dump
+
+
+def test_batched_worker_fleet_dump_identical_to_serial(tmp_path):
+    spec = CampaignSpec.from_dict(campaign_dict())
+    serial = run_campaign(spec, store_path=tmp_path / "serial.sqlite")
+    fleet = run_campaign_workers(
+        spec, store_path=tmp_path / "fleet.sqlite", workers=2, batch=True
+    )
+    assert fleet.failed == 0 and fleet.remaining == 0
+    assert canonical(tmp_path / "fleet.sqlite", fleet.campaign_id) == canonical(
+        tmp_path / "serial.sqlite", serial.campaign_id
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fault injection: kill mid-batch-group, then resume
+# --------------------------------------------------------------------- #
+def test_kill_mid_batch_group_loses_only_that_group_then_resumes(tmp_path):
+    """A kill between batch groups persists whole groups or nothing.
+
+    The mixed grid forms two groups of two; the second group's evaluation
+    is killed.  The first group must have committed atomically, the second
+    must have left no rows, and a plain re-invocation completes exactly the
+    missing points to a serial-identical store.
+    """
+    spec_dict = mixed_topology_campaign("killed")
+    spec = CampaignSpec.from_dict(spec_dict)
+    store_path = tmp_path / "killed.sqlite"
+    points = spec.expand()
+    with CampaignStore(store_path) as store:
+        campaign_id = store.register_campaign(spec, points)
+
+    real = campaign_run.execute_scenario_batch
+    calls = []
+
+    def kill_second_group(points, cache_dir=None):
+        calls.append(len(points))
+        if len(calls) == 2:
+            raise KeyboardInterrupt("killed mid-batch-group")
+        return real(points, cache_dir)
+
+    campaign_run.execute_scenario_batch = kill_second_group
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, store_path=store_path, batch=True)
+    finally:
+        campaign_run.execute_scenario_batch = real
+
+    with CampaignStore(store_path) as store:
+        counts = store.status_counts(campaign_id)
+    assert calls == [2, 2]
+    assert counts == {"done": 2, "error": 0, "pending": 2, "total": 4}
+
+    resumed = run_campaign(spec, store_path=store_path, batch=True)
+    assert resumed.executed == 2 and resumed.remaining == 0
+    serial = run_campaign(spec, store_path=tmp_path / "serial.sqlite")
+    assert canonical(store_path, campaign_id) == canonical(
+        tmp_path / "serial.sqlite", serial.campaign_id
+    )
+
+
+def test_killed_batch_worker_releases_its_leases(tmp_path):
+    """A batch-mode worker killed mid-group hands its leases straight back."""
+    spec_dict = campaign_dict("doomed-batch")
+    spec = CampaignSpec.from_dict(spec_dict)
+    store_path = tmp_path / "store.sqlite"
+    points = spec.expand()
+    with CampaignStore(store_path) as store:
+        campaign_id = store.register_campaign(spec, points)
+
+    def kill_execution(*_args, **_kwargs):
+        raise KeyboardInterrupt("worker killed mid-group")
+
+    real = campaign_run.execute_scenario_batch
+    campaign_run.execute_scenario_batch = kill_execution
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                spec_dict,
+                store_path=store_path,
+                worker_id="doomed",
+                chunk_size=2,
+                batch=True,
+            )
+    finally:
+        campaign_run.execute_scenario_batch = real
+    with CampaignStore(store_path) as store:
+        assert store.active_leases(campaign_id) == []
+        counts = store.status_counts(campaign_id)
+    assert counts["pending"] == 4 and counts["done"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Mode exclusions: --batch and --parallel are mutually exclusive
+# --------------------------------------------------------------------- #
+def test_batch_rejects_parallel_at_the_api(tmp_path):
+    with pytest.raises(ConfigurationError, match="batch"):
+        run_campaign(
+            campaign_dict(),
+            store_path=tmp_path / "store.sqlite",
+            batch=True,
+            parallel=True,
+        )
+
+
+def test_batch_rejects_parallel_at_the_cli(tmp_path):
+    spec_path = tmp_path / "campaign.json"
+    spec_path.write_text(json.dumps(campaign_dict()))
+    with pytest.raises(SystemExit) as excinfo:
+        main(
+            [
+                "run-campaign",
+                "--spec",
+                str(spec_path),
+                "--store",
+                str(tmp_path / "store.sqlite"),
+                "--batch",
+                "--parallel",
+            ]
+        )
+    assert excinfo.value.code == 2
+
+
+# --------------------------------------------------------------------- #
+# Cross-interpreter stability (fixed-order summation regression)
+# --------------------------------------------------------------------- #
+_SUBPROCESS_SCRIPT = """\
+import json, sys
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign
+spec = CampaignSpec.from_dict(json.loads(sys.argv[1]))
+summary = run_campaign(
+    spec, store_path=sys.argv[2], batch=(sys.argv[3] == "batch")
+)
+assert summary.failed == 0, "campaign point failed in subprocess"
+with CampaignStore(sys.argv[2]) as store:
+    dump = store.canonical_dump(summary.campaign_id)
+sys.stdout.write(json.dumps(dump, sort_keys=True, separators=(",", ":")))
+"""
+
+
+def test_canonical_dump_identical_across_interpreters(tmp_path):
+    """Two fresh interpreters — one serial, one batched — dump identically.
+
+    Regression for alignment-dependent last-ULP wobble in reductions:
+    before the fixed-order (pairwise) summation in the MCF objective and
+    fairness kernels, the same campaign could dump differently from one
+    interpreter process to the next.
+    """
+    spec_json = json.dumps(campaign_dict("xinterp"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    dumps = []
+    for mode in ("serial", "batch"):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _SUBPROCESS_SCRIPT,
+                spec_json,
+                str(tmp_path / f"{mode}.sqlite"),
+                mode,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 0, proc.stderr
+        dumps.append(proc.stdout)
+    assert dumps[0] == dumps[1]
+    assert dumps[0]  # non-empty: the dump really ran

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -7,6 +9,12 @@ from repro.power import CiscoRouterPowerModel, full_power, network_power
 from repro.routing import Path, link_loads, solve_mcf
 from repro.routing.ospf import ospf_invcap_routing
 from repro.simulator import Flow, SimulatedNetwork, constant_demand
+from repro.simulator.fairness import (
+    batch_max_min_fair_rates,
+    max_min_fair_rates,
+    pairwise_sum,
+)
+from repro.simulator.reference import reference_max_min_rates
 from repro.topology import random_connected_topology
 from repro.traffic import TrafficMatrix, all_pairs, gravity_matrix
 from repro.traffic.google_trace import google_volume_series, relative_changes
@@ -173,6 +181,171 @@ def test_max_min_allocation_respects_capacity_and_demand(topology, demands):
         assert flow.rate_bps >= 0.0
     for src, dst in zip(path_nodes, path_nodes[1:]):
         assert network.arc_load(src, dst) <= topology.arc(src, dst).capacity_bps + 1e-3
+
+
+# --------------------------------------------------------------------- #
+# Batched max-min fairness: batch == serial == dict oracle
+# --------------------------------------------------------------------- #
+@st.composite
+def fairness_problems(draw):
+    """Random stacked fairness problems over a shared flows×arcs incidence.
+
+    Degenerate shapes appear on purpose: zero-demand flows, zero-capacity
+    arcs, flows crossing no arc at all, single-flow problems.
+    """
+    num_flows = draw(st.integers(min_value=1, max_value=6))
+    num_arcs = draw(st.integers(min_value=0, max_value=6))
+    arcs_per_flow = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_arcs - 1),
+                min_size=0,
+                max_size=4,
+                unique=True,
+            )
+        )
+        if num_arcs
+        else []
+        for _ in range(num_flows)
+    ]
+    flat_flow = np.array(
+        [flow for flow, arcs in enumerate(arcs_per_flow) for _ in arcs],
+        dtype=np.int64,
+    )
+    flat_arc = np.array(
+        [arc for arcs in arcs_per_flow for arc in arcs], dtype=np.int64
+    )
+    value = st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    )
+    batch = draw(st.integers(min_value=1, max_value=5))
+    demands = np.array(
+        [[draw(value) for _ in range(num_flows)] for _ in range(batch)]
+    )
+    capacity = np.array([draw(value) for _ in range(num_arcs)])
+    return demands, flat_flow, flat_arc, capacity
+
+
+@settings(max_examples=120, deadline=None)
+@given(problem=fairness_problems())
+def test_batch_fairness_is_bit_identical_to_serial(problem):
+    demands, flat_flow, flat_arc, capacity = problem
+    batched = batch_max_min_fair_rates(demands, flat_flow, flat_arc, capacity)
+    assert batched.shape == demands.shape
+    for row in range(demands.shape[0]):
+        serial = max_min_fair_rates(demands[row], flat_flow, flat_arc, capacity)
+        # Bit-for-bit, not approximately: the batched kernel replicates the
+        # serial arithmetic element by element.
+        assert np.array_equal(batched[row], serial)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=fairness_problems())
+def test_batch_fairness_accepts_per_element_capacities(problem):
+    demands, flat_flow, flat_arc, capacity = problem
+    batch = demands.shape[0]
+    # Stack distinct capacity vectors: row i gets capacity scaled by i+1.
+    capacities = np.stack([capacity * (row + 1) for row in range(batch)])
+    batched = batch_max_min_fair_rates(demands, flat_flow, flat_arc, capacities)
+    for row in range(batch):
+        serial = max_min_fair_rates(
+            demands[row], flat_flow, flat_arc, capacities[row]
+        )
+        assert np.array_equal(batched[row], serial)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=fairness_problems())
+def test_batch_of_one_equals_unbatched(problem):
+    demands, flat_flow, flat_arc, capacity = problem
+    single = demands[:1]
+    batched = batch_max_min_fair_rates(single, flat_flow, flat_arc, capacity)
+    serial = max_min_fair_rates(single[0], flat_flow, flat_arc, capacity)
+    assert np.array_equal(batched[0], serial)
+
+
+def test_batch_fairness_degenerate_shapes():
+    empty = np.array([], dtype=np.int64)
+    # Empty batch and flowless batch come back as all-zero allocations.
+    assert batch_max_min_fair_rates(
+        np.zeros((0, 3)), empty, empty, np.array([1.0])
+    ).shape == (0, 3)
+    assert batch_max_min_fair_rates(
+        np.zeros((2, 0)), empty, empty, np.array([1.0])
+    ).shape == (2, 0)
+    # A single flow crossing a zero-capacity arc is frozen at rate zero.
+    rates = batch_max_min_fair_rates(
+        np.array([[mbps(10)]]),
+        np.array([0], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+        np.array([0.0]),
+    )
+    assert rates[0, 0] == 0.0
+    with pytest.raises(ValueError):
+        batch_max_min_fair_rates(np.zeros(3), empty, empty, np.array([1.0]))
+    with pytest.raises(ValueError):
+        batch_max_min_fair_rates(
+            np.zeros((2, 3)), empty, empty, np.zeros((3, 1))
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    small_topologies(),
+    st.lists(
+        st.floats(min_value=0.0, max_value=2e8, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ),
+)
+def test_batched_network_allocation_matches_serial_and_oracle(topology, demands):
+    """Three-way differential: batched == serial engine == dict oracle."""
+    network = SimulatedNetwork(topology, MODEL)
+    nodes = topology.nodes()
+    path_nodes = topology.shortest_path(nodes[0], nodes[-1])
+    flows = [
+        Flow(
+            f"f{index}",
+            nodes[0],
+            nodes[-1],
+            constant_demand(demand),
+            path=Path.of(path_nodes),
+        )
+        for index, demand in enumerate(demands)
+    ]
+    times = [0.0, 900.0, 1800.0]
+    batched = network.allocate_rates_batch(flows, times)
+    assert batched.shape == (len(times), len(flows))
+    for row, time in enumerate(times):
+        expected_rates, _ = reference_max_min_rates(network, flows, now_s=time)
+        network.allocate_rates(flows, now_s=time)
+        for column, flow in enumerate(flows):
+            # Batched vs serial engine: exact, bit for bit.
+            assert batched[row, column] == flow.rate_bps
+            # Vectorized vs dict oracle: numerically equivalent.
+            assert flow.rate_bps == pytest.approx(
+                expected_rates[flow.flow_id], rel=1e-9, abs=1e-6
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_pairwise_sum_is_order_fixed_and_accurate(values):
+    array = np.array(values, dtype=float)
+    total = pairwise_sum(array)
+    assert total == pairwise_sum(np.array(values, dtype=float))
+    assert total == pytest.approx(float(sum(values)), rel=1e-12, abs=1e-6)
+    stacked = np.stack([array, array * 2.0]) if array.size else np.zeros((2, 0))
+    batched = pairwise_sum(stacked, axis=-1)
+    assert batched.shape == (2,)
+    assert batched[0] == total
 
 
 # --------------------------------------------------------------------- #
