@@ -1,0 +1,295 @@
+"""Scenario-service load test — concurrent readers against a live drain.
+
+Starts an in-process service on an ephemeral port, submits a 24-point
+campaign for background draining, and hammers the status/points/report
+endpoints from a pool of concurrent reader threads for the whole drain.
+The bar, matching the service acceptance criteria:
+
+* **zero read errors** — WAL read-only connections must never surface a
+  ``database is locked`` (or any 5xx) to a client while the worker
+  writes;
+* the drained store stays ``canonical_dump``-**bit-identical** to an
+  offline serial ``run_campaign`` of the same grid — serving HTTP
+  traffic during the drain must not change the science;
+* a streamed replay's per-interval power series equals the offline
+  engine's, element by element.
+
+Requests/s across the reader pool and the p50/p99 request latencies land
+in ``BENCH_service.json``.  The throughput floor only applies on
+multi-core machines and can be relaxed with
+``SERVICE_BENCH_SKIP_THROUGHPUT_GATE=1`` (shared CI runners); the
+zero-error and identity assertions always hold.
+
+Also runnable standalone (writes the baseline JSON):
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+from multiprocessing import cpu_count
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign
+from repro.scenario.engine import run_scenario
+from repro.service.server import ServiceConfig, create_server
+
+#: Reader threads polling while the drain writes.
+READER_THREADS = 6
+
+#: The reader pool must sustain at least this many requests/s overall
+#: (multi-core machines only; see SERVICE_BENCH_SKIP_THROUGHPUT_GATE).
+THROUGHPUT_FLOOR_RPS = 20.0
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_service.json"
+
+
+def base_scenario() -> Dict[str, Any]:
+    """A cheap uniform-traffic stack (mirrors the campaign test fixtures)."""
+    return {
+        "topology": "geant",
+        "traffic": {
+            "name": "uniform",
+            "params": {"num_pairs": 6, "num_endpoints": 5, "flow_bps": 1e8, "seed": 0},
+        },
+        "power": "cisco",
+        "schemes": [{"name": "response", "params": {"num_paths": 2, "k": 2}}, "ecmp"],
+    }
+
+
+def replay_scenario() -> Dict[str, Any]:
+    """A multi-interval, eventful spec so the replay identity check has depth."""
+    return {
+        "name": "bench-service-replay",
+        "topology": "geant",
+        "traffic": {
+            "name": "gravity",
+            "params": {
+                "num_pairs": 8,
+                "num_endpoints": 5,
+                "seed": 1,
+                "calibrate": True,
+                "levels": [0.25, 0.5, 1.0],
+            },
+        },
+        "power": "cisco",
+        "schemes": [{"name": "response", "params": {"num_paths": 2, "k": 2}}, "ecmp"],
+        "events": [
+            {
+                "name": "link-failure",
+                "params": {"time_s": 900.0, "link": ["DE", "FR"], "repair_s": 1800.0},
+            }
+        ],
+        "utilisation_threshold": 0.9,
+    }
+
+
+def campaign_dict() -> Dict[str, Any]:
+    """The 24-point grid the readers poll while it drains."""
+    return {
+        "name": "bench-service-grid",
+        "base": base_scenario(),
+        "axes": {
+            "seed": [0, 1, 2, 3, 4, 5],
+            "set": {
+                "traffic.flow_bps": [1e8, 1.5e8],
+                "scenario.utilisation_threshold": [0.85, 0.9],
+            },
+        },
+    }
+
+
+def _get(url: str) -> Dict[str, Any]:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        if response.status != 200:
+            raise RuntimeError(f"{url} -> HTTP {response.status}")
+        return json.loads(response.read())
+
+
+def _post(url: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return json.loads(response.read())
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))]
+
+
+def measure() -> Dict[str, Any]:
+    """One full drain under concurrent read load, plus a streamed replay."""
+    results: Dict[str, Any] = {"cpus": float(cpu_count()), "readers": float(READER_THREADS)}
+    spec = CampaignSpec.from_dict(campaign_dict())
+    results["grid_points"] = float(spec.grid_size())
+
+    with tempfile.TemporaryDirectory() as workdir:
+        store_path = os.path.join(workdir, "service.sqlite")
+        server = create_server(
+            ServiceConfig(host="127.0.0.1", port=0, store=store_path)
+        )
+        server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        server_thread.start()
+        base = server.url
+        try:
+            submitted = _post(
+                base + "/campaigns", {"spec": campaign_dict(), "workers": 1}
+            )
+            campaign_id = submitted["campaign_id"]
+            prefix = f"{base}/campaigns/{campaign_id[:12]}"
+
+            errors: List[str] = []
+            latencies: List[float] = []
+            requests_done = [0]
+            lock = threading.Lock()
+            stop = threading.Event()
+            paths = [
+                f"{prefix}/status",
+                f"{prefix}/points?status=done&limit=5",
+                f"{prefix}/report",
+                f"{base}/campaigns",
+            ]
+
+            def read_loop(index: int) -> None:
+                while not stop.is_set():
+                    url = paths[index % len(paths)]
+                    started = time.perf_counter()
+                    try:
+                        _get(url)
+                    except Exception as error:  # noqa: BLE001 - the bar is zero
+                        with lock:
+                            errors.append(f"{url}: {error!r}")
+                        return
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        latencies.append(elapsed)
+                        requests_done[0] += 1
+
+            drain_started = time.perf_counter()
+            readers = [
+                threading.Thread(target=read_loop, args=(index,), daemon=True)
+                for index in range(READER_THREADS)
+            ]
+            for reader in readers:
+                reader.start()
+            while True:
+                status = _get(f"{prefix}/status")
+                if status.get("job", {}).get("state") != "running":
+                    break
+                time.sleep(0.05)
+            drain_s = time.perf_counter() - drain_started
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=30)
+
+            results["drain_s"] = drain_s
+            results["drain_points_per_s"] = results["grid_points"] / drain_s
+            results["read_errors"] = float(len(errors))
+            results["read_requests"] = float(requests_done[0])
+            results["read_requests_per_s"] = requests_done[0] / drain_s if drain_s else 0.0
+            results["read_p50_ms"] = _percentile(latencies, 0.50) * 1e3
+            results["read_p99_ms"] = _percentile(latencies, 0.99) * 1e3
+            results["drain_state_done"] = float(
+                status.get("job", {}).get("state") == "done"
+            )
+            results["points_done"] = float(status["counts"]["done"])
+            if errors:
+                results["first_error"] = 0.0  # keep numeric; details below
+                print("READ ERRORS:")
+                for entry in errors[:10]:
+                    print(" ", entry)
+
+            # Streamed replay vs the offline engine: bit-identity.
+            replay_started = time.perf_counter()
+            request = urllib.request.Request(
+                base + "/scenarios/replay",
+                data=json.dumps({"spec": replay_scenario()}).encode("utf-8"),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=600) as response:
+                records = [json.loads(line) for line in response.read().splitlines()]
+            results["replay_s"] = time.perf_counter() - replay_started
+            intervals = [r for r in records if r["type"] == "interval"]
+            offline = run_scenario(replay_scenario())
+            streamed = {
+                label: [r["schemes"][label]["power_percent"] for r in intervals]
+                for label in offline.labels()
+            }
+            results["replay_intervals"] = float(len(intervals))
+            results["replay_identical"] = float(
+                streamed == offline.power_percent
+                and records[-1]["result"]["power_percent"] == offline.power_percent
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=10)
+
+        # The serviced store matches a clean offline serial run, bit for bit.
+        serial_path = os.path.join(workdir, "serial.sqlite")
+        serial = run_campaign(spec, store_path=serial_path)
+        with CampaignStore(store_path, read_only=True) as serviced_store:
+            serviced_dump = serviced_store.canonical_dump(campaign_id)
+        with CampaignStore(serial_path, read_only=True) as serial_store:
+            serial_dump = serial_store.canonical_dump(serial.campaign_id)
+        results["store_identical"] = float(serviced_dump == serial_dump)
+    return results
+
+
+def _check(results: Dict[str, Any]) -> None:
+    """The always-on invariants of a healthy service under load."""
+    assert results["read_errors"] == 0.0, "readers saw errors during the drain"
+    assert results["drain_state_done"] == 1.0
+    assert results["points_done"] == results["grid_points"]
+    assert results["store_identical"] == 1.0
+    assert results["replay_identical"] == 1.0
+    assert results["read_requests"] > 0.0
+
+
+def _gate_throughput(results: Dict[str, Any]) -> bool:
+    """Whether the requests/s floor applies in this environment."""
+    if os.environ.get("SERVICE_BENCH_SKIP_THROUGHPUT_GATE"):
+        return False
+    return results["cpus"] > 1
+
+
+def test_service_concurrent_readers_and_replay(benchmark, run_once):
+    results = run_once(measure)
+    for key, value in results.items():
+        benchmark.extra_info[key] = round(value, 4)
+    _check(results)
+    if _gate_throughput(results):
+        assert results["read_requests_per_s"] >= THROUGHPUT_FLOOR_RPS, (
+            f"reader pool sustained only {results['read_requests_per_s']:.1f} "
+            f"requests/s (floor: {THROUGHPUT_FLOOR_RPS})"
+        )
+
+
+if __name__ == "__main__":
+    outcome = measure()
+    BASELINE_PATH.write_text(json.dumps(outcome, indent=2, sort_keys=True) + "\n")
+    for key, value in outcome.items():
+        print(f"{key}: {value:.4f}")
+    _check(outcome)
+    if _gate_throughput(outcome) and outcome["read_requests_per_s"] < THROUGHPUT_FLOOR_RPS:
+        print(f"FAIL: below {THROUGHPUT_FLOOR_RPS} requests/s")
+        raise SystemExit(1)
+    print(
+        f"OK: {int(outcome['read_requests'])} reads at "
+        f"{outcome['read_requests_per_s']:.1f} requests/s "
+        f"(p99 {outcome['read_p99_ms']:.1f} ms) with zero errors while the "
+        f"{int(outcome['grid_points'])}-point grid drained in "
+        f"{outcome['drain_s']:.2f}s; store and replay bit-identical; "
+        f"baseline written to {BASELINE_PATH.name}"
+    )

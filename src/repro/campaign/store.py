@@ -560,7 +560,16 @@ class CampaignStore:
     def active_leases(
         self, campaign_id: str, now: Optional[float] = None
     ) -> List[Dict[str, Any]]:
-        """Live leases per worker: ``{worker, points, expires_in_s}`` rows."""
+        """Live leases per worker.
+
+        One row per worker holding unexpired leases on pending points:
+        ``worker_id`` (and the legacy alias ``worker``), how many
+        ``points`` it holds, the earliest absolute ``expires_at``
+        (``time.time`` scale) and the derived ``expires_in_s`` countdown.
+        This single method backs both the ``campaign-status --json``
+        output and the service's status endpoint, so every consumer sees
+        the same lease view.
+        """
         now = time.time() if now is None else now
         try:
             rows = self._connection.execute(
@@ -578,7 +587,9 @@ class CampaignStore:
         return [
             {
                 "worker": row["worker"],
+                "worker_id": row["worker"],
                 "points": row["points"],
+                "expires_at": row["earliest_expiry"],
                 "expires_in_s": max(0.0, row["earliest_expiry"] - now),
             }
             for row in rows
@@ -718,12 +729,54 @@ class CampaignStore:
             f"{selector!r} is ambiguous; stored campaigns: {names}"
         )
 
-    def points(self, campaign_id: str) -> List[Dict[str, Any]]:
-        """Every point row of a campaign, in grid order (axes decoded)."""
-        rows = self._connection.execute(
-            "SELECT * FROM points WHERE campaign_id = ? ORDER BY point_index",
-            (campaign_id,),
-        )
+    #: The point statuses a :meth:`points` filter may name.
+    POINT_STATUSES = ("pending", "done", "error")
+
+    def points(
+        self,
+        campaign_id: str,
+        status: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[Dict[str, Any]]:
+        """Point rows of a campaign, in grid order (axes decoded).
+
+        Filtering and pagination happen SQL-side, so consumers serving a
+        slice of a huge grid (the service's points endpoint) never
+        materialise every row.
+
+        Args:
+            campaign_id: The campaign to list.
+            status: Only rows with this status (``pending``/``done``/
+                ``error``); ``None`` returns every status.
+            limit: At most this many rows (``None`` = no bound).
+            offset: Skip this many rows (after the status filter, in grid
+                order) — the pagination cursor.
+
+        Raises:
+            ConfigurationError: On an unknown status or a negative
+                limit/offset.
+        """
+        if status is not None and status not in self.POINT_STATUSES:
+            raise ConfigurationError(
+                f"unknown point status {status!r}; expected one of "
+                f"{list(self.POINT_STATUSES)}"
+            )
+        if limit is not None and limit < 0:
+            raise ConfigurationError(f"limit must be >= 0, got {limit}")
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        query = "SELECT * FROM points WHERE campaign_id = ?"
+        params: List[Any] = [campaign_id]
+        if status is not None:
+            query += " AND status = ?"
+            params.append(status)
+        query += " ORDER BY point_index"
+        if limit is not None or offset:
+            # SQLite requires LIMIT before OFFSET; -1 means unbounded.
+            query += " LIMIT ? OFFSET ?"
+            params.extend([-1 if limit is None else limit, offset])
+        rows = self._connection.execute(query, params)
         decoded = []
         for row in rows:
             entry = dict(row)

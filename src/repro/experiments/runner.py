@@ -941,6 +941,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..campaign.cli import campaign_command
 
         return campaign_command(arguments[0], arguments[1:])
+    if arguments and arguments[0] == "serve":
+        # Deferred import: the service stack only loads when served.
+        from ..service.cli import serve_command
+
+        return serve_command(arguments[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -949,7 +954,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "Subcommands: 'run-scenario' executes a declarative scenario "
             "spec, 'list-components' shows the registered building blocks, "
             "'run-campaign'/'campaign-status'/'campaign-report' drive "
-            "declarative scenario grids with a persistent results store."
+            "declarative scenario grids with a persistent results store, "
+            "'serve' runs the scenario service (HTTP API with streaming "
+            "replay telemetry)."
         ),
     )
     parser.add_argument(

@@ -318,9 +318,20 @@ def run_scenario(
     return run_built_scenario(built)
 
 
-def run_built_scenario(built: BuiltScenario) -> ScenarioResult:
-    """Drive an already-built scenario's schemes over its merged timeline."""
-    return _result_from_run(built, run_timeline(built))
+def run_built_scenario(
+    built: BuiltScenario, on_interval: Optional[Any] = None
+) -> ScenarioResult:
+    """Drive an already-built scenario's schemes over its merged timeline.
+
+    Args:
+        built: The built scenario.
+        on_interval: Optional streaming hook forwarded to
+            :func:`~repro.scenario.timeline.run_timeline` — called once per
+            interval with the step and its per-scheme outcomes, which is how
+            the scenario service pushes live replay telemetry while the
+            returned result stays bit-identical to an offline run.
+    """
+    return _result_from_run(built, run_timeline(built, on_interval=on_interval))
 
 
 def _result_from_run(built: BuiltScenario, run: TimelineRun) -> ScenarioResult:

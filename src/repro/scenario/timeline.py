@@ -686,9 +686,16 @@ def _step_scheme(
         )
 
 
+#: Signature of the :func:`run_timeline` streaming hook: called once per
+#: timeline step, after every scheme has advanced through it, with the step
+#: and that interval's per-scheme outcomes (keyed by scheme label).
+IntervalCallback = Any
+
+
 def run_timeline(
     built: "BuiltScenario",
     schemes: Optional[Sequence[SchemeSpec]] = None,
+    on_interval: Optional[IntervalCallback] = None,
 ) -> TimelineRun:
     """Drive every scheme of a built scenario over its merged timeline.
 
@@ -697,6 +704,15 @@ def run_timeline(
             unless *schemes* overrides them — the scheme list).
         schemes: Optional explicit scheme specs to evaluate instead of the
             spec's own.
+        on_interval: Optional streaming hook ``fn(step, outcomes)`` called
+            once per :class:`TimelineStep` — after **every** scheme has
+            advanced through it — with the interval's per-scheme
+            :class:`IntervalOutcome` keyed by label.  With a hook the replay
+            runs interval-major (all schemes advance through interval ``i``
+            before any sees ``i+1``) so consumers receive whole-interval
+            telemetry as it is computed; per scheme the sequence of ``step``
+            calls — and therefore every computed value — is exactly the
+            scheme-major one, so results stay bit-identical.
 
     Returns:
         The :class:`TimelineRun` with per-scheme series, fired events and
@@ -708,6 +724,59 @@ def run_timeline(
 
     runs: Dict[str, SchemeRun] = {}
     reaction: Dict[str, List[Dict[str, Any]]] = {}
+    if on_interval is not None:
+        # Interval-major streaming pass: start every runtime up-front, then
+        # advance all schemes one step at a time, handing each completed
+        # interval to the hook.  Schemes are independent (each runtime owns
+        # its state), so only the interleaving differs from the scheme-major
+        # loop below — the batched engine relies on the same property.
+        states: List[_BatchSchemeState] = []
+        for scheme in scheme_specs:
+            component = resolve("scheme", scheme.name)
+            runtime = as_runtime(component, scheme.kwargs())
+            if timeline.has_events and not runtime.event_capable:
+                raise ConfigurationError(
+                    f"scheme {scheme.label!r} does not support dynamic events; "
+                    "implement it as a SchemeRuntime to use the events axis"
+                )
+            states.append(
+                _BatchSchemeState(
+                    spec=scheme, runtime=runtime, state=runtime.start(built)
+                )
+            )
+        for step in timeline.steps:
+            for scheme_state in states:
+                _step_scheme(
+                    scheme_state.runtime,
+                    scheme_state.state,
+                    step,
+                    threshold,
+                    scheme_state.outcomes,
+                    scheme_state.records,
+                )
+            on_interval(
+                step,
+                {
+                    scheme_state.spec.label: scheme_state.outcomes[-1]
+                    for scheme_state in states
+                },
+            )
+        for scheme_state in states:
+            runs[scheme_state.spec.label] = SchemeRun(
+                label=scheme_state.spec.label,
+                outcomes=scheme_state.outcomes,
+                details=scheme_state.runtime.finish(scheme_state.state),
+                recomputations=scheme_state.runtime.recomputations(
+                    scheme_state.state, scheme_state.outcomes
+                ),
+            )
+            reaction[scheme_state.spec.label] = scheme_state.records
+        return TimelineRun(
+            times_s=built.trace.timestamps(),
+            events=timeline.fired_records(),
+            schemes=runs,
+            reaction=reaction,
+        )
     for scheme in scheme_specs:
         component = resolve("scheme", scheme.name)
         runtime = as_runtime(component, scheme.kwargs())

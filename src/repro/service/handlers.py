@@ -1,0 +1,337 @@
+"""Endpoint logic of the scenario service, independent of HTTP plumbing.
+
+Each handler is a plain function from validated inputs to a JSON-ready
+payload (or, for the replay stream, a sequence of ``emit`` calls), raising
+:class:`~repro.service.schemas.ServiceError` for every client-visible
+failure.  The HTTP layer in :mod:`repro.service.server` only routes,
+parses and serialises — all behaviour worth testing lives here, callable
+without a socket.
+
+Read endpoints open short-lived ``read_only=True`` store connections per
+request: WAL lets any number of them run against a store a worker fleet is
+actively writing, and a read-only view can never take (or wait on) a write
+lock.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..campaign.report import (
+    deviation_from_best,
+    filter_rows,
+    scheme_dominance,
+    summarise,
+)
+from ..campaign.store import CampaignStore
+from ..exceptions import ConfigurationError
+from ..scenario.engine import build_scenario, run_built_scenario
+from ..scenario.registry import registered_components
+from .jobs import JobManager
+from .schemas import (
+    ServiceError,
+    bad_request,
+    campaign_request,
+    not_found,
+    points_query,
+    report_query,
+    scenario_spec_from_request,
+)
+
+#: Signature of the replay stream's sink: called once per NDJSON record.
+Emit = Callable[[Dict[str, Any]], None]
+
+
+class ServiceState:
+    """Everything the handlers need: the store path, cache dir and jobs."""
+
+    def __init__(
+        self,
+        store_path: str,
+        cache_dir: Optional[str] = None,
+        jobs: Optional[JobManager] = None,
+    ):
+        self.store_path = str(store_path)
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.jobs = jobs if jobs is not None else JobManager(store_path)
+
+    def open_reader(self) -> CampaignStore:
+        """A fresh read-only store connection for one request.
+
+        Raises:
+            ServiceError: 404 when no campaign has ever been submitted (the
+                store file does not exist yet).
+        """
+        if not os.path.exists(self.store_path):
+            raise not_found(
+                f"campaign store {self.store_path} does not exist yet; "
+                "submit a campaign first",
+                code="no-store",
+            )
+        return CampaignStore(self.store_path, read_only=True)
+
+
+# --------------------------------------------------------------------- #
+# Components and scenarios
+# --------------------------------------------------------------------- #
+def components_payload() -> Dict[str, Any]:
+    """``GET /components`` — the registry listing, one key per kind.
+
+    Byte-identical to ``list-components --json``: both call
+    :func:`~repro.scenario.registry.registered_components`.
+    """
+    return {"components": registered_components()}
+
+
+def run_scenario_payload(
+    state: ServiceState, body: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """``POST /scenarios`` — run one scenario synchronously.
+
+    Sweep-cache aware: with a cache directory configured, a previously
+    executed spec is answered from disk (``"cache": "hit"``) through the
+    exact :class:`~repro.experiments.runner.Sweep` path the CLI uses.
+    """
+    from ..experiments.runner import Sweep  # deferred: keeps import cheap
+
+    spec = scenario_spec_from_request(body)
+    sweep = Sweep([spec.sweep_point()], cache_dir=state.cache_dir)
+    cache = (
+        "disabled"
+        if not state.cache_dir
+        else ("hit" if sweep.cached_points() else "miss")
+    )
+    try:
+        result = sweep.run()[0]
+    except (ConfigurationError, TypeError) as error:
+        # TypeError: a validated spec can still hand a component builder an
+        # unknown parameter — a client mistake, not a server fault.
+        raise bad_request(str(error), code="invalid-scenario") from error
+    return {"cache": cache, "result": result.to_dict()}
+
+
+# --------------------------------------------------------------------- #
+# Campaigns
+# --------------------------------------------------------------------- #
+def submit_campaign_payload(
+    state: ServiceState, body: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """``POST /campaigns`` — register a grid and start its background drain.
+
+    Returns immediately with the campaign id; progress is polled via the
+    status endpoint.  Re-submitting a finished campaign resumes it (only
+    missing points run), exactly like re-invoking ``run-campaign``.
+    """
+    request = campaign_request(body)
+    try:
+        job = state.jobs.submit(request)
+    except ConfigurationError as error:
+        raise bad_request(str(error), code="invalid-campaign") from error
+    return {
+        "campaign_id": job.campaign_id,
+        "name": job.name,
+        "grid_size": request.spec.grid_size(),
+        "job": job.to_dict(),
+    }
+
+
+def list_campaigns_payload(state: ServiceState) -> Dict[str, Any]:
+    """``GET /campaigns`` — every stored campaign plus in-process job state."""
+    if not os.path.exists(state.store_path):
+        return {"store": state.store_path, "campaigns": []}
+    with state.open_reader() as store:
+        campaigns = store.campaigns()
+    for row in campaigns:
+        job = state.jobs.get(row["campaign_id"])
+        if job is not None:
+            row["job"] = job.to_dict()
+    return {"store": state.store_path, "campaigns": campaigns}
+
+
+def _find_campaign(store: CampaignStore, selector: str) -> Dict[str, Any]:
+    """Resolve a campaign selector, mapping lookup failures to 404."""
+    try:
+        return store.find_campaign(selector)
+    except ConfigurationError as error:
+        raise not_found(str(error), code="unknown-campaign") from error
+
+
+def campaign_status_payload(
+    state: ServiceState, selector: str
+) -> Dict[str, Any]:
+    """``GET /campaigns/{id}/status`` — counts, live leases and job state.
+
+    The lease rows come from the same
+    :meth:`~repro.campaign.store.CampaignStore.active_leases` call that
+    backs ``campaign-status --json``, so CLI and service consumers always
+    see identical ``worker_id``/``expires_at`` views.
+    """
+    with state.open_reader() as store:
+        campaign = _find_campaign(store, selector)
+        counts = store.status_counts(campaign["campaign_id"])
+        leases = store.active_leases(campaign["campaign_id"])
+    payload: Dict[str, Any] = {
+        "campaign": campaign,
+        "counts": counts,
+        "leases": leases,
+    }
+    job = state.jobs.get(campaign["campaign_id"])
+    if job is not None:
+        payload["job"] = job.to_dict()
+    return payload
+
+
+def campaign_points_payload(
+    state: ServiceState, selector: str, query: Mapping[str, List[str]]
+) -> Dict[str, Any]:
+    """``GET /campaigns/{id}/points`` — paginated point rows.
+
+    ``status``/``limit``/``offset`` filter SQL-side through
+    :meth:`~repro.campaign.store.CampaignStore.points`, so one page of a
+    huge grid never materialises the rest.
+    """
+    page = points_query(query)
+    with state.open_reader() as store:
+        campaign = _find_campaign(store, selector)
+        points = store.points(
+            campaign["campaign_id"],
+            status=page.status,
+            limit=page.limit,
+            offset=page.offset,
+        )
+        counts = store.status_counts(campaign["campaign_id"])
+    return {
+        "campaign_id": campaign["campaign_id"],
+        "counts": counts,
+        "status": page.status,
+        "limit": page.limit,
+        "offset": page.offset,
+        "count": len(points),
+        "points": points,
+    }
+
+
+def campaign_report_payload(
+    state: ServiceState, selector: str, query: Mapping[str, List[str]]
+) -> Dict[str, Any]:
+    """``GET /campaigns/{id}/report`` — the aggregation layer over HTTP.
+
+    Same pipeline as ``campaign-report``: flat metric rows, optional
+    ``filter`` expressions, grouped summary plus scheme dominance and
+    deviation-from-best across the grid.
+    """
+    report = report_query(query)
+    with state.open_reader() as store:
+        campaign = _find_campaign(store, selector)
+        known_metrics = store.metric_names(campaign["campaign_id"])
+        if known_metrics and report.metric not in known_metrics:
+            raise bad_request(
+                f"unknown metric {report.metric!r}; this campaign recorded: "
+                f"{', '.join(known_metrics)}",
+                code="unknown-metric",
+            )
+        rows = store.metric_rows(campaign["campaign_id"])
+    try:
+        rows = filter_rows(rows, report.filters)
+        payload = {
+            "campaign_id": campaign["campaign_id"],
+            "metric": report.metric,
+            "group_by": list(report.group_by),
+            "filters": report.filters,
+            "rows": len(rows),
+            "summary": summarise(
+                rows, metric=report.metric, group_by=list(report.group_by)
+            ),
+            "dominance": scheme_dominance(rows, metric=report.metric),
+            "deviation": deviation_from_best(rows, metric=report.metric),
+        }
+    except ConfigurationError as error:
+        raise bad_request(str(error), code="invalid-report") from error
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# Streaming replay
+# --------------------------------------------------------------------- #
+def replay_stream(body: Mapping[str, Any], emit: Emit) -> None:
+    """``GET|POST /scenarios/replay`` — live per-interval telemetry.
+
+    Builds the scenario (any spec error surfaces as a 400 *before* the
+    first byte is streamed), then replays it through the
+    :func:`~repro.scenario.timeline.run_timeline` interval hook, emitting
+    one record per NDJSON line:
+
+    * ``{"type": "start", ...}`` — name, config hash, interval count,
+      scheme labels and the utilisation threshold;
+    * ``{"type": "interval", ...}`` — per interval: index, time, fired
+      events and each scheme's power %, max utilisation, SLO violation
+      flag, recomputation marker and step latency;
+    * ``{"type": "end", "result": ...}`` — the full
+      :class:`~repro.scenario.engine.ScenarioResult`, bit-identical to an
+      offline ``run_timeline`` of the same spec.
+    """
+    spec = scenario_spec_from_request(body)
+    try:
+        built = build_scenario(spec)
+    except (ConfigurationError, TypeError) as error:
+        # TypeError: unknown component parameters (see run_scenario_payload).
+        raise bad_request(str(error), code="invalid-scenario") from error
+    threshold = built.spec.utilisation_threshold
+    emit(
+        {
+            "type": "start",
+            "name": built.spec.name,
+            "config_hash": built.spec.config_hash(),
+            "intervals": len(built.trace.timestamps()),
+            "schemes": [scheme.label for scheme in built.spec.schemes],
+            "utilisation_threshold": threshold,
+        }
+    )
+
+    def on_interval(step: Any, outcomes: Mapping[str, Any]) -> None:
+        emit(
+            {
+                "type": "interval",
+                "index": step.index,
+                "time_s": step.time_s,
+                "events": [dict(record) for record in step.fired],
+                "schemes": {
+                    label: {
+                        "power_percent": outcome.power_percent,
+                        "max_utilisation": outcome.max_utilisation,
+                        "violation": (
+                            None
+                            if outcome.max_utilisation is None
+                            else bool(
+                                outcome.max_utilisation > threshold + 1e-9
+                            )
+                        ),
+                        "recomputed": outcome.recomputed,
+                        "compute_seconds": outcome.compute_seconds,
+                    }
+                    for label, outcome in outcomes.items()
+                },
+            }
+        )
+
+    try:
+        result = run_built_scenario(built, on_interval=on_interval)
+    except ConfigurationError as error:
+        raise bad_request(str(error), code="invalid-scenario") from error
+    emit({"type": "end", "result": result.to_dict()})
+
+
+__all__ = [
+    "Emit",
+    "ServiceError",
+    "ServiceState",
+    "campaign_points_payload",
+    "campaign_report_payload",
+    "campaign_status_payload",
+    "components_payload",
+    "list_campaigns_payload",
+    "replay_stream",
+    "run_scenario_payload",
+    "submit_campaign_payload",
+]

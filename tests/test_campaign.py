@@ -216,6 +216,56 @@ def test_store_records_results_and_metrics(tmp_path):
         assert pairs[0][0]["axes"] == {"seed": 0, "traffic.flow_bps": 1e8}
 
 
+def test_store_points_filters_and_paginates_sql_side(tmp_path):
+    """``points(status=, limit=, offset=)`` slices in SQL (service satellite)."""
+    spec = CampaignSpec.from_dict(campaign_dict())
+    store_path = tmp_path / "store.sqlite"
+    run_campaign(spec, store_path=store_path, max_points=3)
+    with CampaignStore(store_path) as store:
+        campaign_id = store.find_campaign()["campaign_id"]
+        # One pending point left; mark it failed to get all three statuses...
+        pending = store.points(campaign_id, status="pending")
+        assert len(pending) == 1
+        all_points = spec.expand()
+        failed = next(
+            point
+            for point in all_points
+            if point.config_hash == pending[0]["config_hash"]
+        )
+        store.record_failure(campaign_id, failed, "boom", 0.0)
+
+        done = store.points(campaign_id, status="done")
+        assert [row["status"] for row in done] == ["done"] * 3
+        assert [row["point_index"] for row in done] == sorted(
+            row["point_index"] for row in done
+        )
+        errors = store.points(campaign_id, status="error")
+        assert len(errors) == 1 and errors[0]["error"] == "boom"
+        assert store.points(campaign_id, status="pending") == []
+
+        # Pagination composes with the filter, in grid order.
+        assert [row["point_index"] for row in store.points(campaign_id, limit=2)] == [
+            row["point_index"] for row in store.points(campaign_id)[:2]
+        ]
+        page = store.points(campaign_id, status="done", limit=1, offset=1)
+        assert [row["point_index"] for row in page] == [done[1]["point_index"]]
+        # offset without limit walks to the end; limit=0 is an empty page.
+        assert len(store.points(campaign_id, offset=3)) == 1
+        assert store.points(campaign_id, limit=0) == []
+        assert len(store.points(campaign_id, offset=99)) == 0
+
+        # Decoded columns survive the filtered path.
+        assert all("axes" in row and "spec" in row for row in done)
+
+        for bad in (
+            dict(status="bogus"),
+            dict(limit=-1),
+            dict(offset=-1),
+        ):
+            with pytest.raises(ConfigurationError):
+                store.points(campaign_id, **bad)
+
+
 def test_store_adopts_results_shared_by_config_hash(tmp_path):
     store_path = tmp_path / "store.sqlite"
     small = CampaignSpec.from_dict(campaign_dict("shared", axes={"seed": [0, 1]}))

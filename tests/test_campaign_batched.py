@@ -351,3 +351,102 @@ def test_canonical_dump_identical_across_interpreters(tmp_path):
         dumps.append(proc.stdout)
     assert dumps[0] == dumps[1]
     assert dumps[0]  # non-empty: the dump really ran
+
+
+# --------------------------------------------------------------------- #
+# Concurrent read-only readers during an active batch write (service
+# satellite): status/report polling must never error while --batch runs.
+# --------------------------------------------------------------------- #
+def test_read_only_readers_succeed_during_open_batch_write(tmp_path):
+    """Readers see the last committed state while a batch chunk is writing.
+
+    Deterministic variant: hold an open ``BEGIN IMMEDIATE`` transaction with
+    uncommitted result rows — exactly the state the store is in while
+    ``record_chunk`` persists a drained batch group — and drive every
+    read-only query the service exposes against it.
+    """
+    spec = CampaignSpec.from_dict(campaign_dict())
+    store_path = tmp_path / "store.sqlite"
+    run_campaign(spec, store_path=store_path, max_points=2, batch=True)
+    with CampaignStore(store_path) as writer:
+        writer._connection.execute("BEGIN IMMEDIATE")
+        writer._connection.execute(
+            "INSERT OR REPLACE INTO results (config_hash, result_json, created_at) "
+            "VALUES ('feed' || 'beef', '{}', '2026-01-01')"
+        )
+        try:
+            with CampaignStore(store_path, read_only=True) as reader:
+                campaign_id = reader.find_campaign()["campaign_id"]
+                assert reader.status_counts(campaign_id)["done"] == 2
+                # The service's paginated/filtered point reads.
+                done = reader.points(campaign_id, status="done", limit=1, offset=1)
+                assert len(done) == 1 and done[0]["status"] == "done"
+                assert len(reader.points(campaign_id, status="pending")) == 2
+                assert reader.active_leases(campaign_id) == []
+                assert reader.metric_rows(campaign_id)
+                # The uncommitted chunk stays invisible.
+                assert "feedbeef" not in reader.canonical_dump(campaign_id)["results"]
+        finally:
+            writer._connection.execute("ROLLBACK")
+
+
+def test_read_only_readers_poll_through_a_live_batch_drain(tmp_path):
+    """Threaded variant: readers hammer a store a --batch drain is writing.
+
+    Pins the service acceptance criterion end to end at the store layer:
+    zero read errors (no ``database is locked``) while a batched worker
+    drains the grid, and the final store is bit-identical to a serial run.
+    """
+    import threading
+
+    spec = CampaignSpec.from_dict(
+        campaign_dict(
+            "drain24",
+            axes={
+                "seed": [0, 1, 2, 3, 4, 5],
+                "set": {
+                    "traffic.flow_bps": [1e8, 1.5e8],
+                    "scenario.utilisation_threshold": [0.85, 0.9],
+                },
+            },
+        )
+    )
+    store_path = tmp_path / "store.sqlite"
+    points = spec.expand()
+    with CampaignStore(store_path) as store:
+        campaign_id = store.register_campaign(spec, points)
+
+    errors = []
+    done_draining = threading.Event()
+
+    def read_loop():
+        while not done_draining.is_set():
+            try:
+                with CampaignStore(store_path, read_only=True) as reader:
+                    counts = reader.status_counts(campaign_id)
+                    assert 0 <= counts["done"] <= len(points)
+                    reader.points(campaign_id, status="done", limit=5)
+                    reader.active_leases(campaign_id)
+                    reader.metric_rows(campaign_id)
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(repr(error))
+                return
+
+    readers = [threading.Thread(target=read_loop, daemon=True) for _ in range(3)]
+    for reader in readers:
+        reader.start()
+    try:
+        summary = run_campaign(
+            spec, store_path=store_path, worker_id="batch-writer", batch=True
+        )
+    finally:
+        done_draining.set()
+    for reader in readers:
+        reader.join(timeout=30)
+
+    assert errors == []
+    assert summary.failed == 0 and summary.remaining == 0
+    serial = run_campaign(spec, store_path=tmp_path / "serial.sqlite")
+    assert canonical(store_path, campaign_id) == canonical(
+        tmp_path / "serial.sqlite", serial.campaign_id
+    )

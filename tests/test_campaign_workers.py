@@ -663,6 +663,38 @@ def test_cli_workers_drain_and_status_leases(tmp_path, capsys):
     assert status["leases"] == {status["campaigns"][0]["campaign_id"]: []}
 
 
+def test_active_leases_expose_worker_id_and_expires_at(tmp_path):
+    """Lease rows carry both the legacy and the service field names.
+
+    ``campaign-status --json`` and the service's status endpoint share one
+    code path (``CampaignStore.active_leases``); this pins the row shape
+    both consumers rely on (service satellite).
+    """
+    store_path, campaign_id, points = registered_store(tmp_path, campaign_dict())
+    with CampaignStore(store_path) as store:
+        store.claim_points(campaign_id, "w1", 2, 10.0, now=1000.0)
+        (lease,) = store.active_leases(campaign_id, now=1004.0)
+        assert lease["worker_id"] == lease["worker"] == "w1"
+        assert lease["points"] == 2
+        assert lease["expires_at"] == 1010.0  # absolute, time.time scale
+        assert lease["expires_in_s"] == pytest.approx(6.0)
+
+
+def test_cli_campaign_status_json_reports_lease_fields(tmp_path, capsys):
+    """The --json status payload includes worker_id/expires_at per lease."""
+    store_path, campaign_id, points = registered_store(tmp_path, campaign_dict())
+    far_future = time.time() + 3600.0
+    with CampaignStore(store_path) as store:
+        store.claim_points(campaign_id, "svc-worker", 3, 3600.0)
+    assert main(["campaign-status", "--store", str(store_path), "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    (lease,) = status["leases"][campaign_id]
+    assert lease["worker_id"] == lease["worker"] == "svc-worker"
+    assert lease["points"] == 3
+    assert lease["expires_at"] == pytest.approx(far_future, abs=60.0)
+    assert 0.0 < lease["expires_in_s"] <= 3600.0
+
+
 def test_cli_rejects_conflicting_execution_modes(tmp_path, capsys):
     spec_path = tmp_path / "campaign.json"
     spec_path.write_text(json.dumps(campaign_dict()))

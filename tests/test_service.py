@@ -1,0 +1,521 @@
+"""Tests for the scenario service: routing, validation, jobs, streaming.
+
+The load-bearing guarantees pinned here:
+
+* every read endpoint serves the same data as its CLI twin (components
+  listing, status counts, lease rows, report aggregation);
+* the streaming replay's per-interval records are **bit-identical** to an
+  offline :func:`~repro.scenario.engine.run_scenario` of the same spec —
+  power, utilisation and violation series compare equal, element by
+  element, and the stream's final record *is* the offline result;
+* a campaign drained through ``POST /campaigns`` leaves a store whose
+  ``canonical_dump`` equals a clean serial ``run_campaign`` of the same
+  spec;
+* concurrent read-only consumers never observe an error while a
+  submitted campaign is actively writing the store.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign
+from repro.campaign.store import canonical_result_dict
+from repro.scenario.engine import run_scenario
+from repro.scenario.registry import registered_components
+from repro.service.handlers import ServiceState
+from repro.service.jobs import RUNNING, CampaignJob, JobManager
+from repro.service.schemas import (
+    ServiceError,
+    campaign_request,
+    points_query,
+    report_query,
+    scenario_spec_from_request,
+)
+from repro.service.server import ServiceConfig, create_server
+
+
+# --------------------------------------------------------------------- #
+# Fixtures: cheap scenario stacks (mirrors tests/test_campaign.py)
+# --------------------------------------------------------------------- #
+def base_scenario():
+    return {
+        "name": "svc-scenario",
+        "topology": "geant",
+        "traffic": {
+            "name": "uniform",
+            "params": {"num_pairs": 6, "num_endpoints": 5, "flow_bps": 1e8, "seed": 0},
+        },
+        "power": "cisco",
+        "schemes": [{"name": "response", "params": {"num_paths": 2, "k": 2}}, "ecmp"],
+    }
+
+
+def eventful_scenario():
+    spec = base_scenario()
+    spec["name"] = "svc-eventful"
+    spec["events"] = [
+        {"name": "link-failure", "params": {"time_s": 0.0, "link": ["DE", "FR"]}}
+    ]
+    return spec
+
+
+def campaign_dict(name="svc-grid"):
+    return {
+        "name": name,
+        "base": base_scenario(),
+        "axes": {"seed": [0, 1], "set": {"traffic.flow_bps": [1e8, 1.5e8]}},
+    }
+
+
+@contextmanager
+def service(tmp_path, **config_overrides):
+    """A live service on an ephemeral port, torn down afterwards."""
+    settings = dict(
+        host="127.0.0.1", port=0, store=str(tmp_path / "service.sqlite")
+    )
+    settings.update(config_overrides)
+    server = create_server(ServiceConfig(**settings))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def get_json(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return response.status, json.loads(response.read())
+
+
+def request_error(server, path, payload=None, method=None):
+    """The (status, error payload) of a request expected to fail."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        server.url + path,
+        data=data,
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=60)
+    body = json.loads(excinfo.value.read())
+    return excinfo.value.code, body["error"]
+
+
+def stream_replay(server, spec, via_get=False):
+    """Every NDJSON record of a replay stream, in order."""
+    if via_get:
+        query = urllib.parse.urlencode({"spec": json.dumps(spec)})
+        request = urllib.request.Request(
+            server.url + "/scenarios/replay?" + query
+        )
+    else:
+        request = urllib.request.Request(
+            server.url + "/scenarios/replay",
+            data=json.dumps({"spec": spec}).encode("utf-8"),
+            method="POST",
+        )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("application/x-ndjson")
+        lines = response.read().splitlines()
+    return [json.loads(line) for line in lines]
+
+
+def wait_for_job(server, campaign_id, timeout_s=120.0):
+    """Poll the status endpoint until the background job leaves ``running``."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, status = get_json(server, f"/campaigns/{campaign_id[:12]}/status")
+        if status.get("job", {}).get("state") != "running":
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"campaign {campaign_id[:12]} still running after {timeout_s}s")
+
+
+# --------------------------------------------------------------------- #
+# Plumbing: index, health, components, errors
+# --------------------------------------------------------------------- #
+def test_index_health_and_components_match_registry(tmp_path):
+    with service(tmp_path) as server:
+        status, index = get_json(server, "/")
+        assert status == 200
+        assert "GET /components" in index["endpoints"]
+        status, health = get_json(server, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, payload = get_json(server, "/components")
+        assert status == 200
+        # Same data as `list-components --json`: both sides call
+        # registered_components().
+        assert payload["components"] == registered_components()
+
+
+def test_unknown_routes_and_malformed_bodies(tmp_path):
+    with service(tmp_path) as server:
+        code, error = request_error(server, "/nope")
+        assert (code, error["code"]) == (404, "not-found")
+        code, error = request_error(server, "/campaigns/zzz/nope")
+        assert code == 404
+        # POST /scenarios with a broken body dies at the edge.
+        request = urllib.request.Request(
+            server.url + "/scenarios", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=60)
+        assert excinfo.value.code == 400
+        code, error = request_error(server, "/scenarios", {"spec": {"name": "x"}})
+        assert (code, error["code"]) == (400, "invalid-scenario")
+        # Campaign store does not exist yet: specific lookups are 404s...
+        code, error = request_error(server, "/campaigns/any/status")
+        assert (code, error["code"]) == (404, "no-store")
+        # ...but the listing is just empty.
+        status, listing = get_json(server, "/campaigns")
+        assert status == 200 and listing["campaigns"] == []
+
+
+# --------------------------------------------------------------------- #
+# POST /scenarios: one-shot runs with the sweep cache
+# --------------------------------------------------------------------- #
+def test_post_scenario_result_and_sweep_cache(tmp_path):
+    offline = run_scenario(base_scenario())
+    with service(tmp_path, cache_dir=str(tmp_path / "cache")) as server:
+        status, first = post_json(server, "/scenarios", {"spec": base_scenario()})
+        assert status == 200 and first["cache"] == "miss"
+        # Identical to the offline engine, wall-clock timings aside.
+        assert canonical_result_dict(first["result"]) == canonical_result_dict(
+            offline.to_dict()
+        )
+        # The second submission of the same spec is served from disk.
+        status, second = post_json(server, "/scenarios", base_scenario())
+        assert second["cache"] == "hit"
+        assert second["result"] == first["result"]
+    with service(tmp_path) as server:
+        _, uncached = post_json(server, "/scenarios", {"spec": base_scenario()})
+        assert uncached["cache"] == "disabled"
+
+
+def test_post_scenario_unknown_component_param_is_400(tmp_path):
+    spec = base_scenario()
+    spec["traffic"]["params"]["no_such_knob"] = 1
+    with service(tmp_path) as server:
+        code, error = request_error(server, "/scenarios", {"spec": spec})
+        assert (code, error["code"]) == (400, "invalid-scenario")
+
+
+# --------------------------------------------------------------------- #
+# Streaming replay: bit-identity with the offline engine
+# --------------------------------------------------------------------- #
+def assert_stream_matches_offline(records, offline):
+    """The stream's interval series must equal the offline result exactly."""
+    assert records[0]["type"] == "start"
+    assert records[-1]["type"] == "end"
+    intervals = [record for record in records if record["type"] == "interval"]
+    assert records[0]["config_hash"] == offline.config_hash
+    assert records[0]["intervals"] == len(intervals) == len(offline.times_s)
+    assert [record["time_s"] for record in intervals] == offline.times_s
+    for label in offline.labels():
+        streamed_power = [
+            record["schemes"][label]["power_percent"] for record in intervals
+        ]
+        assert streamed_power == offline.power_percent[label]
+        utilisation = offline.max_utilisation.get(label)
+        if utilisation:
+            streamed_util = [
+                record["schemes"][label]["max_utilisation"] for record in intervals
+            ]
+            assert streamed_util == utilisation
+            streamed_violations = [
+                record["schemes"][label]["violation"] for record in intervals
+            ]
+            assert streamed_violations == offline.violations[label]
+    # The closing record is the full offline result, wall-clock fields aside.
+    assert canonical_result_dict(records[-1]["result"]) == canonical_result_dict(
+        offline.to_dict()
+    )
+
+
+def test_replay_stream_bit_identical_to_offline_run(tmp_path):
+    offline = run_scenario(base_scenario())
+    with service(tmp_path) as server:
+        records = stream_replay(server, base_scenario())
+        assert_stream_matches_offline(records, offline)
+        # The GET form (?spec=<url-encoded JSON>) streams the same records,
+        # modulo per-step wall-clock timings.
+        def strip(records):
+            stripped = []
+            for record in records:
+                entry = json.loads(json.dumps(record))
+                if entry["type"] == "interval":
+                    for scheme in entry["schemes"].values():
+                        scheme.pop("compute_seconds", None)
+                entry.get("result", {}).pop("compute_seconds", None)
+                entry.get("result", {}).pop("reaction", None)
+                stripped.append(entry)
+            return stripped
+
+        assert strip(stream_replay(server, base_scenario(), via_get=True)) == strip(
+            records
+        )
+
+
+def test_replay_stream_marks_events_on_their_interval(tmp_path):
+    spec = eventful_scenario()
+    offline = run_scenario(spec)
+    with service(tmp_path) as server:
+        records = stream_replay(server, spec)
+    assert_stream_matches_offline(records, offline)
+    intervals = [record for record in records if record["type"] == "interval"]
+    fired = [
+        (record["index"], event["kind"])
+        for record in intervals
+        for event in record["events"]
+    ]
+    # The offline engine reports the same single firing.
+    assert fired == [
+        (event_record["interval_index"], event_record["kind"])
+        for event_record in offline.reaction["response"]
+    ]
+    assert fired[0][1] == "link-failure"
+
+
+def test_replay_invalid_spec_is_a_clean_400(tmp_path):
+    with service(tmp_path) as server:
+        code, error = request_error(
+            server, "/scenarios/replay", {"spec": {"name": "broken"}}
+        )
+        assert (code, error["code"]) == (400, "invalid-scenario")
+        # GET without a spec parameter is a 400, not a hung stream.
+        code, error = request_error(server, "/scenarios/replay")
+        assert code == 400
+
+
+# --------------------------------------------------------------------- #
+# Campaigns over HTTP: submit, poll, paginate, report
+# --------------------------------------------------------------------- #
+def test_campaign_lifecycle_matches_offline_serial_run(tmp_path):
+    with service(tmp_path) as server:
+        status, submitted = post_json(
+            server, "/campaigns", {"spec": campaign_dict(), "workers": 2}
+        )
+        assert status == 202
+        assert submitted["grid_size"] == 4
+        assert submitted["job"]["workers"] == 2
+        campaign_id = submitted["campaign_id"]
+
+        final = wait_for_job(server, campaign_id)
+        assert final["job"]["state"] == "done"
+        assert final["counts"] == {"done": 4, "error": 0, "pending": 0, "total": 4}
+        assert final["leases"] == []  # nothing held once the drain is over
+
+        # Pagination is SQL-side: a one-row page of done points.
+        _, page = get_json(
+            server, f"/campaigns/{campaign_id[:12]}/points?status=done&limit=1&offset=2"
+        )
+        assert page["count"] == 1
+        assert page["points"][0]["point_index"] == 2
+        assert page["counts"]["done"] == 4
+        _, empty = get_json(
+            server, f"/campaigns/{campaign_id[:12]}/points?status=error"
+        )
+        assert empty["count"] == 0
+
+        # The report endpoint runs the campaign-report pipeline.
+        _, report = get_json(
+            server,
+            f"/campaigns/{campaign_id[:12]}/report"
+            "?metric=mean_power_percent&group_by=scheme&filter=scheme%3Dresponse",
+        )
+        assert report["filters"] == {"scheme": "response"}
+        assert [row["scheme"] for row in report["summary"]] == ["response"]
+        assert report["dominance"]["points"] == 4
+
+        _, listing = get_json(server, "/campaigns")
+        assert [row["campaign_id"] for row in listing["campaigns"]] == [campaign_id]
+        assert listing["campaigns"][0]["job"]["state"] == "done"
+
+        # The store the service's thread-workers produced is bit-identical
+        # to a clean offline serial run of the same grid.
+        serial_path = tmp_path / "serial.sqlite"
+        run_campaign(CampaignSpec.from_dict(campaign_dict()), store_path=serial_path)
+        with CampaignStore(server.config.store, read_only=True) as serviced:
+            with CampaignStore(serial_path, read_only=True) as serial:
+                assert serviced.canonical_dump(campaign_id) == serial.canonical_dump(
+                    campaign_id
+                )
+
+
+def test_campaign_query_validation(tmp_path):
+    with service(tmp_path) as server:
+        _, submitted = post_json(
+            server, "/campaigns", {"spec": campaign_dict(), "max_points": 0}
+        )
+        campaign_id = submitted["campaign_id"]
+        wait_for_job(server, campaign_id)
+        prefix = f"/campaigns/{campaign_id[:12]}"
+        code, error = request_error(server, f"{prefix}/points?status=bogus")
+        assert code == 400
+        code, error = request_error(server, f"{prefix}/points?limit=-1")
+        assert code == 400
+        code, error = request_error(server, f"{prefix}/points?offset=x")
+        assert code == 400
+        code, error = request_error(server, f"{prefix}/report?filter=notakv")
+        assert (code, error["code"]) == (400, "invalid-filter")
+        code, error = request_error(server, "/campaigns/zzz/status")
+        assert (code, error["code"]) == (404, "unknown-campaign")
+
+
+def test_default_workers_config_applies_to_submissions(tmp_path):
+    with service(tmp_path, default_workers=2) as server:
+        _, submitted = post_json(
+            server, "/campaigns", {"spec": campaign_dict(), "max_points": 0}
+        )
+        assert submitted["job"]["workers"] == 2
+        wait_for_job(server, submitted["campaign_id"])
+        # An explicit choice always wins over the config default.
+        _, explicit = post_json(
+            server,
+            "/campaigns",
+            {"spec": campaign_dict("svc-grid-b"), "workers": 1, "max_points": 0},
+        )
+        assert explicit["job"]["workers"] == 1
+
+
+def test_concurrent_readers_during_active_drain(tmp_path):
+    """Status/points/report polling never errors while workers write."""
+    with service(tmp_path) as server:
+        _, submitted = post_json(
+            server, "/campaigns", {"spec": campaign_dict(), "workers": 2}
+        )
+        campaign_id = submitted["campaign_id"]
+        errors = []
+        stop = threading.Event()
+
+        def poll(path):
+            while not stop.is_set():
+                try:
+                    status, _ = get_json(server, path)
+                    assert status == 200
+                except Exception as error:  # noqa: BLE001 - collected for assert
+                    errors.append(repr(error))
+                    return
+
+        prefix = f"/campaigns/{campaign_id[:12]}"
+        readers = [
+            threading.Thread(target=poll, args=(path,), daemon=True)
+            for path in (
+                f"{prefix}/status",
+                f"{prefix}/points?status=done",
+                f"{prefix}/report",
+                "/campaigns",
+            )
+        ]
+        for reader in readers:
+            reader.start()
+        final = wait_for_job(server, campaign_id)
+        stop.set()
+        for reader in readers:
+            reader.join(timeout=30)
+        assert errors == []
+        assert final["job"]["state"] == "done"
+        assert final["counts"]["done"] == 4
+
+
+# --------------------------------------------------------------------- #
+# Job manager and schema validation (no HTTP)
+# --------------------------------------------------------------------- #
+def test_job_manager_refuses_resubmitting_a_running_campaign(tmp_path):
+    spec = CampaignSpec.from_dict(campaign_dict())
+    manager = JobManager(tmp_path / "store.sqlite")
+    # Simulate a drain in flight: the submit path must refuse a duplicate
+    # rather than race two fleets' error-reset phases.
+    campaign_id = spec.campaign_id()
+    manager._jobs[campaign_id] = CampaignJob(
+        campaign_id=campaign_id, name=spec.name, workers=1, batch=False, state=RUNNING
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        manager.submit(campaign_request({"spec": campaign_dict()}))
+    assert excinfo.value.status == 409
+
+
+def test_campaign_request_validation():
+    assert campaign_request(campaign_dict()).workers == 1  # bare-spec form
+    wrapped = campaign_request(
+        {"spec": campaign_dict(), "workers": 3, "batch": True, "max_points": 2}
+    )
+    assert (wrapped.workers, wrapped.batch, wrapped.max_points) == (3, True, 2)
+    for broken in (
+        {"spec": campaign_dict(), "workers": 0},
+        {"spec": campaign_dict(), "workers": True},
+        {"spec": campaign_dict(), "batch": "yes"},
+        {"spec": campaign_dict(), "max_points": -1},
+        {"spec": campaign_dict(), "chunk_size": 0},
+        {"spec": campaign_dict(), "lease_seconds": 0},
+        {"spec": campaign_dict(), "typo_option": 1},
+        {"spec": {"no": "base"}},
+    ):
+        with pytest.raises(ServiceError):
+            campaign_request(broken)
+
+
+def test_scenario_and_query_validators():
+    spec = scenario_spec_from_request({"spec": base_scenario()})
+    assert spec.name == "svc-scenario"
+    assert scenario_spec_from_request(base_scenario()).name == "svc-scenario"
+    with pytest.raises(ServiceError):
+        scenario_spec_from_request({"spec": []})
+    schemeless = base_scenario()
+    schemeless["schemes"] = []
+    with pytest.raises(ServiceError):
+        scenario_spec_from_request(schemeless)
+
+    page = points_query({"status": ["done"], "limit": ["5"], "offset": ["10"]})
+    assert (page.status, page.limit, page.offset) == ("done", 5, 10)
+    assert points_query({}) == points_query({"offset": ["0"]})
+    with pytest.raises(ServiceError):
+        points_query({"status": ["nope"]})
+
+    report = report_query(
+        {"group_by": ["scheme,seed"], "filter": ["scheme=response"]}
+    )
+    assert report.group_by == ("scheme", "seed")
+    assert report.filters == {"scheme": "response"}
+    assert report_query({}).group_by == ("scheme",)
+
+
+def test_service_state_without_store_raises_404(tmp_path):
+    state = ServiceState(str(tmp_path / "missing.sqlite"))
+    with pytest.raises(ServiceError) as excinfo:
+        state.open_reader()
+    assert excinfo.value.status == 404
+
+
+# --------------------------------------------------------------------- #
+# CLI wiring
+# --------------------------------------------------------------------- #
+def test_serve_cli_rejects_bad_arguments():
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["serve", "--port", "70000"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--workers", "0"])

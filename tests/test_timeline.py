@@ -352,6 +352,59 @@ def test_event_free_timeline_is_bit_identical_to_cold_replay():
     assert result.power_percent["greente"] == expected  # exact, not approx
 
 
+def test_run_timeline_on_interval_hook_streams_bit_identical_values():
+    """The interval-major streaming pass must not change any computed value.
+
+    The service's replay endpoint rides on ``run_timeline(on_interval=...)``;
+    this pins its contract: the hook fires once per timeline step with every
+    scheme's outcome for that step, and the returned run matches a plain
+    scheme-major run bit-for-bit (wall-clock step timings aside).
+    """
+    from repro.campaign.store import canonical_result_dict
+    from repro.scenario.engine import run_built_scenario
+
+    spec = geant_failure_spec()
+    built = build_scenario(spec)
+    plain = run_built_scenario(built)
+
+    seen = []
+
+    def on_interval(step, outcomes):
+        seen.append((step.index, step.time_s, dict(outcomes)))
+
+    hooked = run_built_scenario(built, on_interval=on_interval)
+
+    # One call per interval, in order, with every scheme present.
+    assert [index for index, _, _ in seen] == list(range(len(plain.times_s)))
+    assert [time_s for _, time_s, _ in seen] == plain.times_s
+    assert all(set(outcomes) == {"response", "greente"} for _, _, outcomes in seen)
+    # The streamed outcomes ARE the result's series (same values, live).
+    for label in ("response", "greente"):
+        assert [
+            outcomes[label].power_percent for _, _, outcomes in seen
+        ] == hooked.power_percent[label]
+    # And the full result is bit-identical to the scheme-major run.
+    assert canonical_result_dict(hooked.to_dict()) == canonical_result_dict(
+        plain.to_dict()
+    )
+
+
+def test_run_timeline_on_interval_hook_event_free_identity():
+    """Event-free scenarios stream identically too (no-event fast path)."""
+    from repro.campaign.store import canonical_result_dict
+    from repro.scenario.engine import run_built_scenario
+
+    built = build_scenario(geant_failure_spec(events=()))
+    calls = []
+    hooked = run_built_scenario(built, on_interval=lambda step, o: calls.append(step))
+    plain = run_built_scenario(built)
+    assert len(calls) == len(plain.times_s)
+    assert all(step.fired == [] for step in calls)
+    assert canonical_result_dict(hooked.to_dict()) == canonical_result_dict(
+        plain.to_dict()
+    )
+
+
 def test_solver_runtime_memoises_unchanged_intervals(monkeypatch):
     import repro.scenario.schemes as schemes_module
 
