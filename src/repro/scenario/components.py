@@ -43,6 +43,7 @@ from ..traffic.matrix import (
     select_pairs_among_subset,
     select_random_pairs,
 )
+from ..traffic.aggregate import aggregate_matrix, aggregate_trace
 from ..traffic.replay import TrafficTrace
 from ..traffic.scaling import calibrate_max_load
 from ..traffic.sinewave import (
@@ -50,7 +51,7 @@ from ..traffic.sinewave import (
     fattree_sine_pairs,
     sine_wave_trace,
 )
-from .registry import register
+from .registry import register, resolve
 
 
 @dataclass
@@ -459,6 +460,41 @@ def _google_volume(topology: Optional[Topology] = None, **params: Any) -> List[f
     for volume-level analyses, not inside ``run_scenario``.
     """
     return list(google_volume_series(**params))
+
+
+@register("traffic", "aggregate")
+def _aggregate_traffic(
+    topology: Topology,
+    inner: Optional[Dict[str, Any]] = None,
+    level: str = "aggregation",
+) -> BuiltTraffic:
+    """Any registered workload coarsened to per-pod / per-PoP aggregates.
+
+    Wraps an *inner* traffic section (``{"name": ..., "params": {...}}``,
+    the same shape as a spec's ``traffic`` section) and maps every endpoint
+    of every matrix to its nearest ancestor at *level* — ``"aggregation"``
+    groups fat-tree hosts per pod, ``"edge"`` per edge switch,
+    ``"backbone"`` groups PoP-access metros per backbone attachment.  Total
+    demand is conserved (intra-aggregate pairs keep their original
+    granularity); the allocation-level exact-equivalence contract is in
+    :mod:`repro.simulator.aggregate`.
+    """
+    if not inner or "name" not in inner:
+        raise ConfigurationError(
+            "aggregate traffic needs an inner section: "
+            '{"name": <traffic component>, "params": {...}}'
+        )
+    builder = resolve("traffic", inner["name"])
+    built = as_built_traffic(
+        builder(topology, **dict(inner.get("params") or {})), inner["name"]
+    )
+    trace = aggregate_trace(topology, built.trace, level)
+    peak = None
+    if built.peak_matrix is not None:
+        peak = aggregate_matrix(topology, built.peak_matrix, level)
+    return BuiltTraffic(
+        trace=trace, pairs=_pairs_of(trace), peak_matrix=peak
+    )
 
 
 # Schemes register themselves on import; keep last so one import of this

@@ -28,6 +28,7 @@ from ..traffic.replay import TrafficTrace
 from .components import BuiltTraffic, as_built_traffic
 from .schemes import SchemeOutcome
 from .spec import ScenarioSpec
+from .spill import SeriesSpill
 from .timeline import GroupComputeCache, TimelineRun, run_timeline, run_timeline_batch
 
 
@@ -319,7 +320,9 @@ def run_scenario(
 
 
 def run_built_scenario(
-    built: BuiltScenario, on_interval: Optional[Any] = None
+    built: BuiltScenario,
+    on_interval: Optional[Any] = None,
+    spill_path: Optional[Any] = None,
 ) -> ScenarioResult:
     """Drive an already-built scenario's schemes over its merged timeline.
 
@@ -330,8 +333,16 @@ def run_built_scenario(
             interval with the step and its per-scheme outcomes, which is how
             the scenario service pushes live replay telemetry while the
             returned result stays bit-identical to an offline run.
+        spill_path: Optional path for a per-interval NDJSON spill sidecar
+            (see :mod:`repro.scenario.spill`): the replay holds at most one
+            interval's series state in memory and the returned result reads
+            its series back from the sidecar — bit-identical to an
+            in-memory run, except for the wall-clock ``compute_seconds``.
     """
-    return _result_from_run(built, run_timeline(built, on_interval=on_interval))
+    spill = SeriesSpill(spill_path) if spill_path is not None else None
+    return _result_from_run(
+        built, run_timeline(built, on_interval=on_interval, spill=spill)
+    )
 
 
 def _result_from_run(built: BuiltScenario, run: TimelineRun) -> ScenarioResult:

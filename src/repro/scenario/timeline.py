@@ -53,6 +53,7 @@ from ..topology.base import link_key
 from ..traffic.matrix import Pair, TrafficMatrix
 from .registry import register, resolve
 from .spec import EventSpec, SchemeSpec
+from .spill import SeriesSpill
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..topology.base import Topology
@@ -615,6 +616,41 @@ class SchemeRun:
 
 
 @dataclass
+class SpilledSchemeRun(SchemeRun):
+    """A :class:`SchemeRun` whose per-interval series live in a spill file.
+
+    ``outcomes`` stays empty — the series accessors re-read the NDJSON
+    sidecar instead, returning exactly what the in-memory run would have
+    (JSON float round-trips are exact), so downstream result assembly is
+    bit-identical while resident memory stays bounded during the replay.
+    """
+
+    spill: Optional[SeriesSpill] = None
+
+    def _series(self, metric: str) -> List[Any]:
+        if self.spill is None:
+            raise ConfigurationError(
+                f"spilled scheme run {self.label!r} has no spill attached"
+            )
+        return self.spill.series(self.label, metric)
+
+    def power_percent(self) -> List[float]:
+        """The per-interval power series, read back from the spill."""
+        return [float(value) for value in self._series("power_percent")]
+
+    def max_utilisation(self) -> List[float]:
+        """The utilisation series (same conventions as :class:`SchemeRun`)."""
+        raw = self._series("max_utilisation")
+        if all(value is None for value in raw):
+            return []
+        return [float(value) if value is not None else 0.0 for value in raw]
+
+    def compute_seconds(self) -> List[float]:
+        """Per-interval step cost, read back from the spill."""
+        return [float(value) for value in self._series("compute_seconds")]
+
+
+@dataclass
 class TimelineRun:
     """The result of driving every scheme over one timeline."""
 
@@ -686,6 +722,37 @@ def _step_scheme(
         )
 
 
+def _spill_metrics(outcome: IntervalOutcome, threshold: float) -> Dict[str, Any]:
+    """One scheme's spill-row payload for a completed interval."""
+    violation = (
+        None
+        if outcome.max_utilisation is None
+        else bool(outcome.max_utilisation > threshold + 1e-9)
+    )
+    return {
+        "power_percent": outcome.power_percent,
+        "max_utilisation": outcome.max_utilisation,
+        "violation": violation,
+        "recomputed": outcome.recomputed,
+        "compute_seconds": outcome.compute_seconds,
+    }
+
+
+def _spilled_recomputations(
+    runtime: SchemeRuntime, state: Any, flag_total: int
+) -> int:
+    """Recomputation total when per-interval outcomes were spilled.
+
+    The base protocol sums per-step flags, which the spill loop already
+    accumulated; a runtime overriding :meth:`SchemeRuntime.recomputations`
+    (the legacy adapter reads its authoritative total off the state) is
+    called with no outcomes instead.
+    """
+    if type(runtime).recomputations is SchemeRuntime.recomputations:
+        return flag_total
+    return runtime.recomputations(state, [])
+
+
 #: Signature of the :func:`run_timeline` streaming hook: called once per
 #: timeline step, after every scheme has advanced through it, with the step
 #: and that interval's per-scheme outcomes (keyed by scheme label).
@@ -696,6 +763,7 @@ def run_timeline(
     built: "BuiltScenario",
     schemes: Optional[Sequence[SchemeSpec]] = None,
     on_interval: Optional[IntervalCallback] = None,
+    spill: Optional[SeriesSpill] = None,
 ) -> TimelineRun:
     """Drive every scheme of a built scenario over its merged timeline.
 
@@ -713,6 +781,14 @@ def run_timeline(
             telemetry as it is computed; per scheme the sequence of ``step``
             calls — and therefore every computed value — is exactly the
             scheme-major one, so results stay bit-identical.
+        spill: Optional :class:`~repro.scenario.spill.SeriesSpill`.  When
+            given, the replay runs interval-major, each completed interval
+            is written to the spill's NDJSON sidecar and dropped from
+            memory (resident series state stays bounded by one interval),
+            and the returned run's schemes are
+            :class:`SpilledSchemeRun` objects that read the series back
+            from the sidecar — bit-identically.  The spill is closed before
+            returning.
 
     Returns:
         The :class:`TimelineRun` with per-scheme series, fired events and
@@ -724,12 +800,13 @@ def run_timeline(
 
     runs: Dict[str, SchemeRun] = {}
     reaction: Dict[str, List[Dict[str, Any]]] = {}
-    if on_interval is not None:
+    if on_interval is not None or spill is not None:
         # Interval-major streaming pass: start every runtime up-front, then
         # advance all schemes one step at a time, handing each completed
-        # interval to the hook.  Schemes are independent (each runtime owns
-        # its state), so only the interleaving differs from the scheme-major
-        # loop below — the batched engine relies on the same property.
+        # interval to the hook and/or the spill.  Schemes are independent
+        # (each runtime owns its state), so only the interleaving differs
+        # from the scheme-major loop below — the batched engine relies on
+        # the same property.
         states: List[_BatchSchemeState] = []
         for scheme in scheme_specs:
             component = resolve("scheme", scheme.name)
@@ -744,6 +821,7 @@ def run_timeline(
                     spec=scheme, runtime=runtime, state=runtime.start(built)
                 )
             )
+        recomputed_totals = [0] * len(states)
         for step in timeline.steps:
             for scheme_state in states:
                 _step_scheme(
@@ -754,23 +832,58 @@ def run_timeline(
                     scheme_state.outcomes,
                     scheme_state.records,
                 )
-            on_interval(
-                step,
-                {
-                    scheme_state.spec.label: scheme_state.outcomes[-1]
-                    for scheme_state in states
-                },
-            )
-        for scheme_state in states:
-            runs[scheme_state.spec.label] = SchemeRun(
-                label=scheme_state.spec.label,
-                outcomes=scheme_state.outcomes,
-                details=scheme_state.runtime.finish(scheme_state.state),
-                recomputations=scheme_state.runtime.recomputations(
-                    scheme_state.state, scheme_state.outcomes
-                ),
-            )
-            reaction[scheme_state.spec.label] = scheme_state.records
+            if on_interval is not None:
+                on_interval(
+                    step,
+                    {
+                        scheme_state.spec.label: scheme_state.outcomes[-1]
+                        for scheme_state in states
+                    },
+                )
+            if spill is not None:
+                spill.write_step(
+                    index=step.index,
+                    time_s=step.time_s,
+                    events=step.fired,
+                    schemes={
+                        scheme_state.spec.label: _spill_metrics(
+                            scheme_state.outcomes[-1], threshold
+                        )
+                        for scheme_state in states
+                    },
+                )
+                # Bounded resident memory: the interval is on disk now.
+                for position, scheme_state in enumerate(states):
+                    recomputed_totals[position] += int(
+                        scheme_state.outcomes[-1].recomputed
+                    )
+                    scheme_state.outcomes.clear()
+        if spill is not None:
+            spill.close()
+        for position, scheme_state in enumerate(states):
+            label = scheme_state.spec.label
+            if spill is not None:
+                runs[label] = SpilledSchemeRun(
+                    label=label,
+                    outcomes=[],
+                    details=scheme_state.runtime.finish(scheme_state.state),
+                    recomputations=_spilled_recomputations(
+                        scheme_state.runtime,
+                        scheme_state.state,
+                        recomputed_totals[position],
+                    ),
+                    spill=spill,
+                )
+            else:
+                runs[label] = SchemeRun(
+                    label=label,
+                    outcomes=scheme_state.outcomes,
+                    details=scheme_state.runtime.finish(scheme_state.state),
+                    recomputations=scheme_state.runtime.recomputations(
+                        scheme_state.state, scheme_state.outcomes
+                    ),
+                )
+            reaction[label] = scheme_state.records
         return TimelineRun(
             times_s=built.trace.timestamps(),
             events=timeline.fired_records(),

@@ -8,10 +8,23 @@ allocation survives in :mod:`repro.simulator.reference` as the oracle the
 equivalence tests and scaling benchmarks compare against.
 """
 
+from .aggregate import AggregatedFlows, allocate_aggregated
 from .arcs import ArcTable, CompiledPath
 from .engine import Controller, Sample, SimulationEngine, SimulationResult
 from .failures import FailureSchedule, LinkEvent, NodeEvent, TopologyView
-from .fairness import build_incidence, max_min_fair_rates
+from .fairness import (
+    SPARSE_CROSSOVER,
+    SparseIncidence,
+    batch_max_min_fair_rates,
+    batch_max_min_fair_rates_sparse,
+    build_incidence,
+    fairness_kernel,
+    grouped_max_min_fair_rates,
+    max_min_fair_rates,
+    max_min_fair_rates_sparse,
+    select_kernel,
+    set_fairness_kernel,
+)
 from .flows import (
     DemandProfile,
     Flow,
@@ -24,8 +37,19 @@ from .network import DEFAULT_WAKE_DELAY_S, SimulatedNetwork
 from .reference import reference_allocate_rates, reference_max_min_rates
 
 __all__ = [
+    "AggregatedFlows",
+    "allocate_aggregated",
     "ArcTable",
     "CompiledPath",
+    "SPARSE_CROSSOVER",
+    "SparseIncidence",
+    "batch_max_min_fair_rates",
+    "batch_max_min_fair_rates_sparse",
+    "fairness_kernel",
+    "grouped_max_min_fair_rates",
+    "max_min_fair_rates_sparse",
+    "select_kernel",
+    "set_fairness_kernel",
     "Controller",
     "Sample",
     "SimulationEngine",

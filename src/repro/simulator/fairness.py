@@ -17,7 +17,17 @@ thresholds and termination conditions.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 import numpy as np
+
+try:  # scipy is a baked-in dependency (the MCF oracle uses it) but the
+    # simulator must still import without it — the dense kernels never
+    # touch scipy and remain fully functional.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
 
 #: A flow freezes when its unserved demand drops below this (bps).
 DEMAND_EPSILON = 1e-9
@@ -25,6 +35,64 @@ DEMAND_EPSILON = 1e-9
 CAPACITY_EPSILON = 1e-9
 #: Progressive filling stops when an iteration makes no real progress.
 STEP_EPSILON = 1e-12
+
+#: ``flows * arcs`` product above which the automatic kernel selection
+#: switches from the dense flat-array kernels to the ``scipy.sparse``
+#: twins.  Below the crossover the dense kernels' lower constant factors
+#: win; above it the sparse matvec per iteration and the avoidance of the
+#: batch kernel's ``(batch, nnz)`` temporaries dominate.
+SPARSE_CROSSOVER = 2_000_000
+
+#: Environment override for the kernel choice (``dense``/``sparse``/``auto``).
+KERNEL_ENV_VAR = "REPRO_FAIRNESS_KERNEL"
+
+_KERNEL_CHOICES = ("auto", "dense", "sparse")
+_kernel_override: Optional[str] = None
+
+
+def set_fairness_kernel(kernel: Optional[str]) -> Optional[str]:
+    """Force the fairness kernel process-wide; returns the previous override.
+
+    Args:
+        kernel: ``"dense"``, ``"sparse"``, ``"auto"`` or ``None`` (both of the
+            last two restore automatic crossover selection).
+    """
+    global _kernel_override
+    if kernel is not None and kernel not in _KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown fairness kernel {kernel!r}; expected one of {_KERNEL_CHOICES}"
+        )
+    previous = _kernel_override
+    _kernel_override = None if kernel in (None, "auto") else kernel
+    return previous
+
+
+def fairness_kernel() -> str:
+    """The configured kernel choice: override, else env var, else ``auto``."""
+    if _kernel_override is not None:
+        return _kernel_override
+    env = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+    if env in ("dense", "sparse"):
+        return env
+    return "auto"
+
+
+def select_kernel(num_flows: int, num_arcs: int) -> str:
+    """Resolve the kernel for a problem size to ``"dense"`` or ``"sparse"``.
+
+    Automatic selection crosses over on the dense incidence footprint
+    (``flows * arcs`` > :data:`SPARSE_CROSSOVER`); an explicit override via
+    :func:`set_fairness_kernel` or :data:`KERNEL_ENV_VAR` wins.  Falls back
+    to dense when scipy is unavailable.
+    """
+    choice = fairness_kernel()
+    if choice == "sparse" and _scipy_sparse is None:
+        raise RuntimeError("sparse fairness kernel requested but scipy is missing")
+    if choice != "auto":
+        return choice
+    if _scipy_sparse is None:
+        return "dense"
+    return "sparse" if int(num_flows) * int(num_arcs) > SPARSE_CROSSOVER else "dense"
 
 
 def max_min_fair_rates(
@@ -244,6 +312,326 @@ def batch_max_min_fair_rates(
         # nobody means the element makes no further progress.
         no_progress = (step <= STEP_EPSILON) & (active.sum(axis=1) == active_before)
         alive &= ~no_progress
+    return allocation
+
+
+class SparseIncidence:
+    """A flows×arcs incidence held as ``scipy.sparse`` CSR matrices.
+
+    The dense kernels stream over the flat ``(flat_flow, flat_arc)`` entry
+    arrays; the sparse twins instead ask this wrapper for the two reductions
+    the filling loop needs — per-arc active-flow counts and the set of flows
+    touching exhausted arcs — as CSR mat-vecs.  Both reductions sum small
+    integers, which float64 represents exactly regardless of summation
+    order, so the sparse results are bit-identical to the dense ones.
+
+    Entry multiplicities are preserved: duplicate ``(flow, arc)`` entries
+    sum into a single stored value, matching ``np.bincount`` over the flat
+    arrays entry for entry.
+    """
+
+    def __init__(
+        self,
+        flat_flow: np.ndarray,
+        flat_arc: np.ndarray,
+        num_flows: int,
+        num_arcs: int,
+    ) -> None:
+        if _scipy_sparse is None:  # pragma: no cover - guarded by select_kernel
+            raise RuntimeError("SparseIncidence requires scipy")
+        flat_flow = np.asarray(flat_flow, dtype=np.int64)
+        flat_arc = np.asarray(flat_arc, dtype=np.int64)
+        self.num_flows = int(num_flows)
+        self.num_arcs = int(num_arcs)
+        data = np.ones(flat_flow.size, dtype=np.float64)
+        coo = _scipy_sparse.coo_matrix(
+            (data, (flat_flow, flat_arc)), shape=(self.num_flows, self.num_arcs)
+        )
+        #: flows×arcs — row f holds the arcs flow f crosses (multiplicity).
+        self.flow_arc = coo.tocsr()
+        self.flow_arc.sum_duplicates()
+        #: arcs×flows — the transpose, for per-arc count reductions.
+        self.arc_flow = self.flow_arc.T.tocsr()
+        crossed = np.zeros(self.num_arcs, dtype=bool)
+        if flat_arc.size:
+            crossed[flat_arc] = True
+        #: Arcs crossed by at least one flow (== dense ``bincount > 0``).
+        self.crossed_at_all = crossed
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries (distinct flow-crosses-arc relations)."""
+        return int(self.flow_arc.nnz)
+
+    def nbytes(self) -> int:
+        """Resident bytes of both CSR copies (data + indices + indptr)."""
+        total = 0
+        for matrix in (self.flow_arc, self.arc_flow):
+            total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        return total
+
+    def arc_counts(self, active: np.ndarray) -> np.ndarray:
+        """Active-flow count per arc — exact, matches the dense bincount."""
+        return self.arc_flow @ active.astype(np.float64)
+
+    def batch_arc_counts(self, active: np.ndarray) -> np.ndarray:
+        """Per-arc counts for a ``(batch, num_flows)`` active mask."""
+        return (self.arc_flow @ active.T.astype(np.float64)).T
+
+    def flows_touching(self, arc_mask: np.ndarray) -> np.ndarray:
+        """Boolean per flow: does the flow cross any arc in *arc_mask*?"""
+        return (self.flow_arc @ arc_mask.astype(np.float64)) > 0.0
+
+    def batch_flows_touching(self, arc_mask: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`flows_touching` for a ``(batch, num_arcs)`` mask."""
+        return (self.flow_arc @ arc_mask.T.astype(np.float64)).T > 0.0
+
+
+def max_min_fair_rates_sparse(
+    demands: np.ndarray,
+    flat_flow: np.ndarray,
+    flat_arc: np.ndarray,
+    arc_capacity: np.ndarray,
+    incidence: Optional[SparseIncidence] = None,
+) -> np.ndarray:
+    """Sparse twin of :func:`max_min_fair_rates` — bit-identical output.
+
+    The progressive-filling loop is copied line for line from the dense
+    kernel; only the two incidence reductions (per-arc counts, exhausted-arc
+    flow kill) go through :class:`SparseIncidence` CSR mat-vecs.  Both are
+    integer sums, exact in float64, so every freezing threshold and the
+    termination order reproduce the dense kernel bit for bit.
+
+    Args:
+        incidence: A prebuilt :class:`SparseIncidence` (e.g. cached per
+            compiled flow set); built from the flat arrays when omitted.
+    """
+    num_flows = int(demands.shape[0])
+    allocation = np.zeros(num_flows, dtype=float)
+    if num_flows == 0:
+        return allocation
+
+    pending = demands.astype(float).copy()
+    capacity = arc_capacity.astype(float).copy()
+    num_arcs = int(capacity.shape[0])
+    if incidence is None:
+        incidence = SparseIncidence(flat_flow, flat_arc, num_flows, num_arcs)
+    crossed_at_all = incidence.crossed_at_all
+    active = np.ones(num_flows, dtype=bool)
+
+    for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
+        if not active.any():
+            break
+        counts = incidence.arc_counts(active)
+        crossed = counts > 0
+        share_limited = (
+            float((capacity[crossed] / counts[crossed]).min())
+            if crossed.any()
+            else float("inf")
+        )
+        demand_limited = float(pending[active].min())
+        step = min(share_limited, demand_limited)
+        if step == float("inf"):
+            break
+        step = max(step, 0.0)
+        allocation[active] += step
+        pending[active] -= step
+        capacity -= step * counts
+        active_before = int(active.sum())
+        active &= pending > DEMAND_EPSILON
+        exhausted = crossed_at_all & (capacity <= CAPACITY_EPSILON)
+        if exhausted.any():
+            active &= ~incidence.flows_touching(exhausted)
+        if step <= STEP_EPSILON and int(active.sum()) == active_before:
+            break
+    return allocation
+
+
+def batch_max_min_fair_rates_sparse(
+    demands: np.ndarray,
+    flat_flow: np.ndarray,
+    flat_arc: np.ndarray,
+    arc_capacity: np.ndarray,
+    incidence: Optional[SparseIncidence] = None,
+) -> np.ndarray:
+    """Sparse twin of :func:`batch_max_min_fair_rates` — bit-identical output.
+
+    The dense batch kernel materialises ``(batch, nnz)`` masks and scatters
+    them with ``np.add.at`` / ``np.logical_or.at`` every iteration; at
+    10^5–10^6 flows those temporaries are the memory wall.  This twin keeps
+    the per-element state arrays and replaces both scatters with CSR
+    mat-mats over the shared incidence, whose integer sums are exact — the
+    per-element arithmetic, freezing thresholds and termination conditions
+    are otherwise copied verbatim.
+    """
+    demands = np.asarray(demands, dtype=float)
+    if demands.ndim != 2:
+        raise ValueError(
+            f"batched demands must have shape (batch, num_flows), got {demands.shape}"
+        )
+    batch, num_flows = int(demands.shape[0]), int(demands.shape[1])
+    allocation = np.zeros((batch, num_flows), dtype=float)
+    if batch == 0 or num_flows == 0:
+        return allocation
+
+    flat_flow = np.asarray(flat_flow, dtype=np.int64)
+    flat_arc = np.asarray(flat_arc, dtype=np.int64)
+    capacity = np.asarray(arc_capacity, dtype=float)
+    if capacity.ndim == 1:
+        capacity = np.repeat(capacity[None, :].astype(float), batch, axis=0)
+    elif capacity.ndim == 2:
+        if int(capacity.shape[0]) != batch:
+            raise ValueError(
+                f"per-element capacity has batch {capacity.shape[0]}, "
+                f"demands have batch {batch}"
+            )
+        capacity = capacity.astype(float).copy()
+    else:
+        raise ValueError(
+            f"arc_capacity must be 1- or 2-dimensional, got shape {capacity.shape}"
+        )
+    num_arcs = int(capacity.shape[1])
+
+    if incidence is None:
+        incidence = SparseIncidence(flat_flow, flat_arc, num_flows, num_arcs)
+    pending = demands.astype(float).copy()
+    crossed_at_all = incidence.crossed_at_all
+    active = np.ones((batch, num_flows), dtype=bool)
+    alive = np.ones(batch, dtype=bool)
+
+    for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
+        alive &= active.any(axis=1)
+        if not alive.any():
+            break
+        counts = incidence.batch_arc_counts(active)
+        crossed = counts > 0
+        if num_arcs:
+            ratio = np.divide(
+                capacity,
+                counts,
+                out=np.full_like(capacity, np.inf),
+                where=crossed,
+            )
+            share_limited = ratio.min(axis=1)
+        else:
+            share_limited = np.full(batch, np.inf)
+        demand_limited = np.where(active, pending, np.inf).min(axis=1)
+        step = np.minimum(share_limited, demand_limited)
+        alive &= ~np.isinf(step)
+        if not alive.any():
+            break
+        step = np.where(alive, np.maximum(step, 0.0), 0.0)
+        grow = active & alive[:, None]
+        allocation = np.where(grow, allocation + step[:, None], allocation)
+        pending = np.where(grow, pending - step[:, None], pending)
+        capacity = np.where(
+            alive[:, None], capacity - step[:, None] * counts, capacity
+        )
+        active_before = active.sum(axis=1)
+        active = np.where(alive[:, None], active & (pending > DEMAND_EPSILON), active)
+        exhausted = crossed_at_all[None, :] & (capacity <= CAPACITY_EPSILON)
+        if exhausted.any():
+            kill = incidence.batch_flows_touching(exhausted) & alive[:, None]
+            active &= ~kill
+        no_progress = (step <= STEP_EPSILON) & (active.sum(axis=1) == active_before)
+        alive &= ~no_progress
+    return allocation
+
+
+def grouped_max_min_fair_rates(
+    demands: np.ndarray,
+    flow_group: np.ndarray,
+    flat_group: np.ndarray,
+    flat_arc: np.ndarray,
+    arc_capacity: np.ndarray,
+    num_groups: Optional[int] = None,
+) -> np.ndarray:
+    """Per-flow max-min rates where flows sharing a group share one path.
+
+    Aggregation without approximation: every per-flow quantity (pending,
+    allocation, the active mask and both freezing thresholds) stays a
+    per-flow array with exactly the dense kernel's element-wise arithmetic,
+    but the per-arc counts are computed from the *group* incidence weighted
+    by each group's number of currently-active member flows — an integer
+    sum, exact in float64.  The result is bit-identical to running
+    :func:`max_min_fair_rates` on the expanded per-flow incidence (each
+    member flow repeating its group's arc list), while the incidence memory
+    drops from O(flows × hops) to O(groups × hops).
+
+    Args:
+        demands: Offered load per flow (bps), shape ``(num_flows,)``.
+        flow_group: Group index per flow, shape ``(num_flows,)``.
+        flat_group: Group index of every group-crosses-arc incidence entry.
+        flat_arc: Arc index of every incidence entry (same length).
+        arc_capacity: Allocation capacity per arc (bps), full table length.
+        num_groups: Total group count; inferred from *flow_group* if omitted.
+    """
+    num_flows = int(demands.shape[0])
+    allocation = np.zeros(num_flows, dtype=float)
+    if num_flows == 0:
+        return allocation
+
+    flow_group = np.asarray(flow_group, dtype=np.int64)
+    flat_group = np.asarray(flat_group, dtype=np.int64)
+    flat_arc = np.asarray(flat_arc, dtype=np.int64)
+    pending = demands.astype(float).copy()
+    capacity = arc_capacity.astype(float).copy()
+    num_arcs = int(capacity.shape[0])
+    if num_groups is None:
+        num_groups = int(flow_group.max()) + 1 if flow_group.size else 0
+
+    # Arcs crossed by a *populated* group — empty groups contribute no
+    # incidence entries in the expanded per-flow problem, so they must not
+    # contribute here either (the iteration bound and the exhausted-arc set
+    # both derive from this).
+    members = np.bincount(flow_group, minlength=num_groups)
+    if flat_arc.size:
+        populated_entry = members[flat_group] > 0
+        crossed_at_all = (
+            np.bincount(flat_arc[populated_entry], minlength=num_arcs) > 0
+        )
+    else:
+        crossed_at_all = np.zeros(num_arcs, dtype=bool)
+    active = np.ones(num_flows, dtype=bool)
+
+    for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
+        if not active.any():
+            break
+        active_members = np.bincount(
+            flow_group[active], minlength=num_groups
+        ).astype(float)
+        if flat_arc.size:
+            # Weighted bincount of integer weights: exact in float64, equal
+            # entry for entry to the dense per-flow bincount.
+            counts = np.bincount(
+                flat_arc, weights=active_members[flat_group], minlength=num_arcs
+            )
+        else:
+            counts = np.zeros(num_arcs, dtype=float)
+        crossed = counts > 0
+        share_limited = (
+            float((capacity[crossed] / counts[crossed]).min())
+            if crossed.any()
+            else float("inf")
+        )
+        demand_limited = float(pending[active].min())
+        step = min(share_limited, demand_limited)
+        if step == float("inf"):
+            break
+        step = max(step, 0.0)
+        allocation[active] += step
+        pending[active] -= step
+        capacity -= step * counts
+        active_before = int(active.sum())
+        active &= pending > DEMAND_EPSILON
+        if flat_arc.size:
+            exhausted = crossed_at_all & (capacity <= CAPACITY_EPSILON)
+            if exhausted.any():
+                dead_group = np.zeros(num_groups, dtype=bool)
+                dead_group[flat_group[exhausted[flat_arc]]] = True
+                active &= ~dead_group[flow_group]
+        if step <= STEP_EPSILON and int(active.sum()) == active_before:
+            break
     return allocation
 
 

@@ -10,6 +10,7 @@ operations (see :mod:`repro.simulator.fairness`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -20,12 +21,52 @@ from ..power.model import PowerModel
 from ..routing.paths import Path
 from ..topology.base import Topology, link_key
 from .arcs import ArcTable, CompiledPath
-from .fairness import batch_max_min_fair_rates, build_incidence, max_min_fair_rates
+from .fairness import (
+    SparseIncidence,
+    batch_max_min_fair_rates,
+    batch_max_min_fair_rates_sparse,
+    build_incidence,
+    max_min_fair_rates,
+    max_min_fair_rates_sparse,
+    select_kernel,
+)
 from .flows import Flow, offered_load_vector
 from .links import LinkState, SimulatedLink
 
 #: Default wake-up delay (the ns-2 experiments' conservative 5 s bound).
 DEFAULT_WAKE_DELAY_S = 5.0
+
+
+@dataclass
+class _CompiledFlowSet:
+    """Routable-flow filtering and incidence for one (link state, paths) pair.
+
+    ``allocate_rates`` is called once per simulated interval with an
+    unchanged flow list most of the time (controllers reassign ``flow.path``
+    only on recomputation), yet it used to rebuild the usable vector, walk
+    every flow through ``compile_path`` and re-concatenate the incidence on
+    every call.  This entry caches all of that behind the link state-code
+    vector plus the identity of each flow's path object; ``paths`` keeps
+    strong references so the cached ``id()`` keys cannot be recycled while
+    the entry lives.
+    """
+
+    state_bytes: bytes
+    paths_key: Tuple[int, ...]
+    paths: List[Optional[Path]]
+    usable: np.ndarray
+    routable_indices: List[int]
+    flat_flow: np.ndarray
+    flat_arc: np.ndarray
+    _sparse: Optional[SparseIncidence] = field(default=None, repr=False)
+
+    def sparse(self, arc_table: ArcTable) -> SparseIncidence:
+        """The CSR incidence for the sparse kernels (built once, cached)."""
+        if self._sparse is None:
+            self._sparse = arc_table.sparse_incidence(
+                self.flat_flow, self.flat_arc, len(self.routable_indices)
+            )
+        return self._sparse
 
 
 class SimulatedNetwork:
@@ -67,6 +108,8 @@ class SimulatedNetwork:
         self._baseline_power_w = (
             full_power(topology, power_model).total_w if power_model else 0.0
         )
+        #: Single-entry cache of the last routable-flow compilation.
+        self._compiled_flows: Optional[_CompiledFlowSet] = None
 
     # ------------------------------------------------------------------ #
     # Link state management
@@ -144,6 +187,12 @@ class SimulatedNetwork:
         :func:`repro.simulator.fairness.max_min_fair_rates`.  The dict-based
         seed algorithm survives as the oracle in
         :mod:`repro.simulator.reference`.
+
+        The routable-flow filtering and the flat incidence are cached behind
+        the link state-code vector and the flows' path identities, and the
+        fairness kernel is chosen by
+        :func:`repro.simulator.fairness.select_kernel` (dense below the
+        ``flows*arcs`` crossover, the bit-identical sparse twin above it).
         """
         self._arc_load_vec[:] = 0.0
         for flow in flows:
@@ -151,30 +200,19 @@ class SimulatedNetwork:
         if not flows:
             return
 
-        usable = self.link_usable_vector()
-        routable: List[Flow] = []
-        compiled: List[CompiledPath] = []
-        for flow in flows:
-            if flow.path is None:
-                continue
-            path = self._arc_table.compile_path(flow.path)
-            if path.link_indices.size == 0 or bool(usable[path.link_indices].all()):
-                routable.append(flow)
-                compiled.append(path)
-        if not routable:
+        entry = self._compiled_flow_set(flows)
+        if not entry.routable_indices:
             return
 
+        routable = [flows[index] for index in entry.routable_indices]
         demands = offered_load_vector(routable, now_s)
-        flat_flow, flat_arc = build_incidence(compiled)
-        allocation = max_min_fair_rates(
-            demands, flat_flow, flat_arc, self._alloc_capacity
-        )
+        allocation = self._run_fair_kernel(demands, entry)
         for flow, rate in zip(routable, allocation):
             flow.rate_bps = float(rate)
-        if flat_arc.size:
+        if entry.flat_arc.size:
             self._arc_load_vec += np.bincount(
-                flat_arc,
-                weights=allocation[flat_flow],
+                entry.flat_arc,
+                weights=allocation[entry.flat_flow],
                 minlength=self._arc_table.num_arcs,
             )
 
@@ -196,6 +234,47 @@ class SimulatedNetwork:
         if not flows or not times:
             return rates
 
+        entry = self._compiled_flow_set(flows)
+        if not entry.routable_indices:
+            return rates
+
+        routable = [flows[index] for index in entry.routable_indices]
+        demands = np.stack(
+            [offered_load_vector(routable, time) for time in times]
+        )
+        kernel = select_kernel(len(routable), self._arc_table.num_arcs)
+        if kernel == "sparse":
+            allocation = batch_max_min_fair_rates_sparse(
+                demands,
+                entry.flat_flow,
+                entry.flat_arc,
+                self._alloc_capacity,
+                incidence=entry.sparse(self._arc_table),
+            )
+        else:
+            allocation = batch_max_min_fair_rates(
+                demands, entry.flat_flow, entry.flat_arc, self._alloc_capacity
+            )
+        rates[:, entry.routable_indices] = allocation
+        return rates
+
+    def _compiled_flow_set(self, flows: List[Flow]) -> _CompiledFlowSet:
+        """The cached routable filtering/incidence for the current state.
+
+        Valid while every link keeps its state code and every flow keeps the
+        same path object; any sleep/wake/failure transition or controller
+        path reassignment changes the key and forces a rebuild.
+        """
+        state_bytes = self.link_state_codes().tobytes()
+        paths_key = tuple(id(flow.path) for flow in flows)
+        cached = self._compiled_flows
+        if (
+            cached is not None
+            and cached.state_bytes == state_bytes
+            and cached.paths_key == paths_key
+        ):
+            return cached
+
         usable = self.link_usable_vector()
         routable_indices: List[int] = []
         compiled: List[CompiledPath] = []
@@ -206,19 +285,35 @@ class SimulatedNetwork:
             if path.link_indices.size == 0 or bool(usable[path.link_indices].all()):
                 routable_indices.append(index)
                 compiled.append(path)
-        if not routable_indices:
-            return rates
-
-        routable = [flows[index] for index in routable_indices]
-        demands = np.stack(
-            [offered_load_vector(routable, time) for time in times]
-        )
         flat_flow, flat_arc = build_incidence(compiled)
-        allocation = batch_max_min_fair_rates(
-            demands, flat_flow, flat_arc, self._alloc_capacity
+        entry = _CompiledFlowSet(
+            state_bytes=state_bytes,
+            paths_key=paths_key,
+            paths=[flow.path for flow in flows],
+            usable=usable,
+            routable_indices=routable_indices,
+            flat_flow=flat_flow,
+            flat_arc=flat_arc,
         )
-        rates[:, routable_indices] = allocation
-        return rates
+        self._compiled_flows = entry
+        return entry
+
+    def _run_fair_kernel(
+        self, demands: np.ndarray, entry: _CompiledFlowSet
+    ) -> np.ndarray:
+        """Dispatch one demand vector to the selected fairness kernel."""
+        kernel = select_kernel(len(entry.routable_indices), self._arc_table.num_arcs)
+        if kernel == "sparse":
+            return max_min_fair_rates_sparse(
+                demands,
+                entry.flat_flow,
+                entry.flat_arc,
+                self._alloc_capacity,
+                incidence=entry.sparse(self._arc_table),
+            )
+        return max_min_fair_rates(
+            demands, entry.flat_flow, entry.flat_arc, self._alloc_capacity
+        )
 
     # ------------------------------------------------------------------ #
     # Array-indexed views (the vectorized engine's fast path)
@@ -227,6 +322,15 @@ class SimulatedNetwork:
     def arc_table(self) -> ArcTable:
         """The dense integer indexing of arcs and links."""
         return self._arc_table
+
+    @property
+    def alloc_capacity(self) -> np.ndarray:
+        """Per-arc allocation capacity (the parent link's, per direction).
+
+        The live internal buffer the fairness kernels read — callers must
+        not mutate it.
+        """
+        return self._alloc_capacity
 
     def compile_path(self, path: Path) -> CompiledPath:
         """The path lowered to arc/link index arrays (memoised)."""

@@ -23,8 +23,20 @@ from .matrix import (
     select_pairs_among_subset,
     select_random_pairs,
 )
+from .aggregate import (
+    aggregate_matrix,
+    aggregate_trace,
+    aggregation_map,
+    nearest_ancestor,
+)
 from .replay import TraceInterval, TrafficTrace
-from .scaling import calibrate_max_load, utilisation_matrix, utilisation_sweep
+from .scaling import (
+    calibrate_max_load,
+    calibration_cache_stats,
+    clear_calibration_cache,
+    utilisation_matrix,
+    utilisation_sweep,
+)
 from .sinewave import fattree_sine_pairs, sine_fraction, sine_wave_trace
 
 __all__ = [
@@ -49,7 +61,13 @@ __all__ = [
     "select_random_pairs",
     "TraceInterval",
     "TrafficTrace",
+    "aggregate_matrix",
+    "aggregate_trace",
+    "aggregation_map",
+    "nearest_ancestor",
     "calibrate_max_load",
+    "calibration_cache_stats",
+    "clear_calibration_cache",
     "utilisation_matrix",
     "utilisation_sweep",
     "fattree_sine_pairs",

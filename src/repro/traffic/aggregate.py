@@ -1,0 +1,96 @@
+"""Demand aggregation: host-level matrices coarsened to pod/PoP aggregates.
+
+"Millions of users" demand is massively redundant at the matrix level too:
+every host under one edge switch (fat-tree) or one metro router (PoP
+access) injects its traffic through the same attachment point, so the
+scenario layer can carry one aggregate pair per attachment-point pair
+instead of one pair per host pair.  This module maps each endpoint to its
+nearest ancestor at a named topology level (deterministically — breadth
+first by hop distance, ties broken by node name) and merges demands per
+aggregate pair in sorted-pair order, so the aggregation is reproducible
+bit for bit across runs.
+
+Conservation contract: every original demand lands in exactly one output
+entry, and pairs whose endpoints collapse to the same aggregate are kept at
+their original granularity (their traffic never reaches the aggregation
+level, so coarsening them would silently drop it).  The allocation-level
+exact-equivalence contract (aggregate then allocate == allocate then sum)
+lives in :mod:`repro.simulator.aggregate`, which this module feeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..exceptions import TrafficError
+from ..topology.base import Topology
+from .matrix import Pair, TrafficMatrix
+from .replay import TrafficTrace
+
+
+def nearest_ancestor(topology: Topology, node: str, level: str) -> str:
+    """The closest node at *level*, breadth first, ties broken by name.
+
+    A node already at *level* is its own ancestor.  Distance rings are
+    explored one hop at a time; within the first ring containing any
+    *level* node the lexicographically smallest name wins, so the mapping
+    is deterministic regardless of adjacency iteration order.
+    """
+    if topology.node(node).level == level:
+        return node
+    visited = {node}
+    frontier: List[str] = [node]
+    while frontier:
+        next_frontier: List[str] = []
+        candidates: List[str] = []
+        for current in frontier:
+            for neighbor in topology.neighbors(current):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                next_frontier.append(neighbor)
+                if topology.node(neighbor).level == level:
+                    candidates.append(neighbor)
+        if candidates:
+            return min(candidates)
+        frontier = next_frontier
+    raise TrafficError(
+        f"no node at level {level!r} is reachable from {node!r}"
+    )
+
+
+def aggregation_map(
+    topology: Topology, nodes: Iterable[str], level: str
+) -> Dict[str, str]:
+    """``node -> nearest ancestor at level`` for every listed node."""
+    return {node: nearest_ancestor(topology, node, level) for node in set(nodes)}
+
+
+def aggregate_matrix(
+    topology: Topology, matrix: TrafficMatrix, level: str
+) -> TrafficMatrix:
+    """Merge a matrix's demands into aggregate-level pairs.
+
+    Demands are accumulated in sorted original-pair order (a deterministic
+    float summation order), and intra-aggregate pairs — both endpoints
+    mapping to the same ancestor — stay at their original granularity.
+    """
+    endpoints = {node for pair in matrix.pairs() for node in pair}
+    mapping = aggregation_map(topology, endpoints, level)
+    merged: Dict[Pair, float] = {}
+    for (origin, destination), demand in sorted(matrix.items()):
+        key = (mapping[origin], mapping[destination])
+        if key[0] == key[1]:
+            key = (origin, destination)
+        merged[key] = merged.get(key, 0.0) + demand
+    return TrafficMatrix(merged, name=f"{matrix.name}@{level}")
+
+
+def aggregate_trace(
+    topology: Topology, trace: TrafficTrace, level: str
+) -> TrafficTrace:
+    """Aggregate every matrix of a trace to *level* (interval grid kept)."""
+    return trace.mapped(
+        lambda matrix: aggregate_matrix(topology, matrix, level),
+        name=f"{trace.name}@{level}",
+    )

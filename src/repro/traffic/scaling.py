@@ -15,6 +15,8 @@ dropped.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Callable, Dict, List, Optional
 
 from ..exceptions import TrafficError
@@ -28,6 +30,68 @@ def _default_oracle(topology: Topology, demands: TrafficMatrix) -> bool:
     from ..routing.mcf import is_demand_feasible
 
     return is_demand_feasible(topology, demands)
+
+
+#: Process-wide memo of calibration results keyed by the canonical hash of
+#: (topology content, base matrix, growth parameters).  A campaign grid
+#: typically repeats the same dozen calibrations across every group and
+#: worker chunk; each MCF-backed calibration is a pure function of the
+#: hashed inputs, so reusing the scale factor is bit-identical to
+#: recomputing it.  Only default-oracle calls are memoised — a custom
+#: oracle is not part of the key and must never be served a cached value.
+_CALIBRATION_CACHE: Dict[str, float] = {}
+_CALIBRATION_STATS = {"hits": 0, "misses": 0}
+
+
+def _calibration_key(
+    topology: Topology,
+    base_matrix: TrafficMatrix,
+    growth_step: float,
+    initial_scale: float,
+    max_iterations: int,
+) -> str:
+    """Canonical content hash of every input the calibration depends on.
+
+    Float inputs are serialised with ``repr`` (shortest exact round-trip),
+    so two topologies/matrices hash equal exactly when the MCF oracle would
+    see bit-identical numbers.
+    """
+    payload = {
+        "nodes": sorted(
+            (node, n.kind, n.level, n.always_powered)
+            for node, n in ((name, topology.node(name)) for name in topology.nodes())
+        ),
+        "links": sorted(
+            (
+                link.u,
+                link.v,
+                repr(link.capacity_bps),
+                repr(link.reverse_capacity_bps),
+            )
+            for link in topology.links()
+        ),
+        "matrix": sorted(
+            (origin, destination, repr(demand))
+            for (origin, destination), demand in base_matrix.items()
+        ),
+        "growth_step": repr(float(growth_step)),
+        "initial_scale": repr(float(initial_scale)),
+        "max_iterations": int(max_iterations),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def clear_calibration_cache() -> None:
+    """Drop all memoised calibrations (tests and long-lived services)."""
+    _CALIBRATION_CACHE.clear()
+    _CALIBRATION_STATS["hits"] = 0
+    _CALIBRATION_STATS["misses"] = 0
+
+
+def calibration_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the calibration memo (a copy)."""
+    return dict(_CALIBRATION_STATS)
 
 
 def calibrate_max_load(
@@ -65,6 +129,17 @@ def calibrate_max_load(
         raise TrafficError(f"growth step must be positive, got {growth_step}")
     check = oracle or _default_oracle
 
+    key: Optional[str] = None
+    if oracle is None:
+        key = _calibration_key(
+            topology, base_matrix, growth_step, initial_scale, max_iterations
+        )
+        cached = _CALIBRATION_CACHE.get(key)
+        if cached is not None:
+            _CALIBRATION_STATS["hits"] += 1
+            return cached
+        _CALIBRATION_STATS["misses"] += 1
+
     scale = float(initial_scale)
     if not check(topology, base_matrix.scaled(scale)):
         raise TrafficError(
@@ -73,8 +148,10 @@ def calibrate_max_load(
     for _ in range(max_iterations):
         candidate = scale * (1.0 + growth_step)
         if not check(topology, base_matrix.scaled(candidate)):
-            return scale
+            break
         scale = candidate
+    if key is not None:
+        _CALIBRATION_CACHE[key] = scale
     return scale
 
 

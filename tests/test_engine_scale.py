@@ -1,0 +1,336 @@
+"""Tests for the million-flow scale axis: kernel selection, sparse network
+allocation, flow aggregation, calibration memoisation and the compiled
+flow-set cache."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.routing import Path
+from repro.simulator import (
+    SPARSE_CROSSOVER,
+    AggregatedFlows,
+    Flow,
+    SimulatedNetwork,
+    allocate_aggregated,
+    constant_demand,
+    fairness_kernel,
+    select_kernel,
+    set_fairness_kernel,
+)
+from repro.simulator import fairness as fairness_module
+from repro.topology.fattree import build_fattree, hosts
+from repro.traffic import (
+    TrafficMatrix,
+    calibrate_max_load,
+    calibration_cache_stats,
+    clear_calibration_cache,
+)
+from repro.units import mbps
+
+
+@pytest.fixture(autouse=True)
+def _reset_kernel():
+    """Every test starts and ends on the automatic kernel choice."""
+    set_fairness_kernel(None)
+    yield
+    set_fairness_kernel(None)
+
+
+def fattree_flows(k=4, num_flows=40, seed=3):
+    """Deterministic host-to-host flows on a fat-tree."""
+    import random
+
+    topology = build_fattree(k)
+    endpoints = hosts(topology)
+    rng = random.Random(seed)
+    flows = []
+    for index in range(num_flows):
+        origin, destination = rng.sample(endpoints, 2)
+        path = Path.of(topology.shortest_path(origin, destination))
+        flows.append(
+            Flow(
+                f"f{index}",
+                origin,
+                destination,
+                constant_demand(rng.uniform(mbps(1), mbps(800))),
+                path=path,
+            )
+        )
+    return topology, flows
+
+
+# --------------------------------------------------------------------- #
+# Kernel selection knob
+# --------------------------------------------------------------------- #
+
+
+def test_select_kernel_crosses_over_on_problem_size():
+    assert select_kernel(10, 10) == "dense"
+    assert select_kernel(SPARSE_CROSSOVER, 1) == "dense"  # product == crossover
+    assert select_kernel(SPARSE_CROSSOVER, 2) == "sparse"
+    assert select_kernel(1_000_000, 50_000) == "sparse"
+
+
+def test_set_fairness_kernel_overrides_and_restores():
+    assert fairness_kernel() == "auto"
+    previous = set_fairness_kernel("sparse")
+    assert previous is None  # no override was active
+    assert fairness_kernel() == "sparse"
+    assert select_kernel(1, 1) == "sparse"  # override beats the crossover
+    assert set_fairness_kernel("dense") == "sparse"
+    assert select_kernel(10**9, 10**9) == "dense"
+    set_fairness_kernel(None)
+    assert fairness_kernel() == "auto"
+    with pytest.raises(ValueError):
+        set_fairness_kernel("csr")
+
+
+def test_kernel_env_var_respected(monkeypatch):
+    monkeypatch.setenv(fairness_module.KERNEL_ENV_VAR, "sparse")
+    assert fairness_kernel() == "sparse"
+    assert select_kernel(1, 1) == "sparse"
+    # The process-wide override still beats the environment.
+    set_fairness_kernel("dense")
+    assert fairness_kernel() == "dense"
+
+
+def test_sparse_request_without_scipy_raises(monkeypatch):
+    monkeypatch.setattr(fairness_module, "_scipy_sparse", None)
+    set_fairness_kernel("sparse")
+    with pytest.raises(RuntimeError, match="scipy"):
+        select_kernel(10, 10)
+    # Automatic selection silently stays dense without scipy.
+    set_fairness_kernel(None)
+    assert select_kernel(10**9, 10**9) == "dense"
+
+
+# --------------------------------------------------------------------- #
+# Network-level sparse allocation: bit-identical to dense
+# --------------------------------------------------------------------- #
+
+
+def test_network_allocation_identical_under_sparse_kernel():
+    topology, flows = fattree_flows()
+    dense_network = SimulatedNetwork(topology)
+    set_fairness_kernel("dense")
+    dense_network.allocate_rates(flows, now_s=0.0)
+    dense_rates = np.array([flow.rate_bps for flow in flows])
+    dense_batch = dense_network.allocate_rates_batch(flows, [0.0, 900.0])
+
+    sparse_network = SimulatedNetwork(build_fattree(4))
+    set_fairness_kernel("sparse")
+    sparse_network.allocate_rates(flows, now_s=0.0)
+    sparse_rates = np.array([flow.rate_bps for flow in flows])
+    sparse_batch = sparse_network.allocate_rates_batch(flows, [0.0, 900.0])
+
+    assert np.array_equal(dense_rates, sparse_rates)
+    assert np.array_equal(dense_batch, sparse_batch)
+
+
+# --------------------------------------------------------------------- #
+# Flow aggregation: exact equivalence with the per-flow engine
+# --------------------------------------------------------------------- #
+
+
+def test_allocate_aggregated_matches_per_flow_allocation():
+    topology, flows = fattree_flows(num_flows=60)
+    network = SimulatedNetwork(topology)
+    set_fairness_kernel("dense")
+    network.allocate_rates(flows, now_s=0.0)
+    per_flow = np.array([flow.rate_bps for flow in flows])
+
+    table = AggregatedFlows.from_flows(flows, now_s=0.0)
+    assert table.num_groups < table.num_flows  # shared paths actually group
+    aggregated = allocate_aggregated(SimulatedNetwork(build_fattree(4)), table)
+    assert np.array_equal(per_flow, aggregated)
+
+
+def test_allocate_aggregated_group_sums_match_summed_per_flow_rates():
+    # Aggregate-then-allocate == allocate-then-sum: the per-group totals of
+    # the aggregated allocation equal the summed per-flow dense rates.
+    topology, flows = fattree_flows(num_flows=60)
+    network = SimulatedNetwork(topology)
+    set_fairness_kernel("dense")
+    network.allocate_rates(flows, now_s=0.0)
+    table = AggregatedFlows.from_flows(flows, now_s=0.0)
+    aggregated = allocate_aggregated(SimulatedNetwork(build_fattree(4)), table)
+    per_flow_sums = np.zeros(table.num_groups)
+    aggregated_sums = np.zeros(table.num_groups)
+    for index, flow in enumerate(flows):
+        per_flow_sums[table.flow_group[index]] += flow.rate_bps
+        aggregated_sums[table.flow_group[index]] += aggregated[index]
+    assert np.array_equal(per_flow_sums, aggregated_sums)
+
+
+def test_allocate_aggregated_tracks_link_state():
+    topology, flows = fattree_flows(num_flows=40)
+    network = SimulatedNetwork(topology)
+    table = AggregatedFlows.from_flows(flows, now_s=0.0)
+    # Sleep everything except the arcs the flows actually use, then kill
+    # one used link: flows over it get zero, the rest stay max-min fair.
+    used = {arc for flow in flows for arc in flow.path.link_keys()}
+    victim = sorted(used)[0]
+    network.fail_link(*victim)
+    set_fairness_kernel("dense")
+    network.allocate_rates(flows, now_s=0.0)
+    per_flow = np.array([flow.rate_bps for flow in flows])
+    aggregated = allocate_aggregated(network, table)
+    assert np.array_equal(per_flow, aggregated)
+    crossing = [
+        index
+        for index, flow in enumerate(flows)
+        if victim in set(flow.path.link_keys())
+    ]
+    assert crossing and all(aggregated[index] == 0.0 for index in crossing)
+
+
+def test_aggregated_flows_validation():
+    from repro.exceptions import SimulationError
+
+    path = Path.of(["a", "b"])
+    with pytest.raises(SimulationError):
+        AggregatedFlows.from_arrays(
+            (path,), np.array([1], dtype=np.int64), np.array([mbps(1)])
+        )
+    with pytest.raises(SimulationError):
+        AggregatedFlows.from_arrays(
+            (path,), np.array([0, 0], dtype=np.int64), np.array([mbps(1)])
+        )
+
+
+# --------------------------------------------------------------------- #
+# Calibration memoisation
+# --------------------------------------------------------------------- #
+
+
+def triangle_topology():
+    from repro.topology.base import Topology
+
+    topo = Topology(name="triangle")
+    for name in ("a", "b", "c"):
+        topo.add_node(name, kind="router")
+    topo.add_link("a", "b", capacity_bps=mbps(100))
+    topo.add_link("b", "c", capacity_bps=mbps(100))
+    topo.add_link("a", "c", capacity_bps=mbps(100))
+    return topo
+
+
+def test_calibration_memo_hit_is_bit_identical():
+    clear_calibration_cache()
+    topology = triangle_topology()
+    matrix = TrafficMatrix({("a", "c"): mbps(10), ("b", "c"): mbps(5)})
+    first = calibrate_max_load(topology, matrix)
+    stats = calibration_cache_stats()
+    assert stats == {"hits": 0, "misses": 1}
+    second = calibrate_max_load(topology, matrix)
+    assert second == first  # bit-identical, it is the same float object
+    assert calibration_cache_stats() == {"hits": 1, "misses": 1}
+    # A different matrix is a different key, not a stale hit.
+    calibrate_max_load(topology, matrix.scaled(0.5))
+    assert calibration_cache_stats() == {"hits": 1, "misses": 2}
+
+
+def test_calibration_memo_matches_uncached_recomputation():
+    clear_calibration_cache()
+    topology = triangle_topology()
+    matrix = TrafficMatrix({("a", "c"): mbps(10), ("b", "c"): mbps(5)})
+    cached = calibrate_max_load(topology, matrix)
+    clear_calibration_cache()
+    recomputed = calibrate_max_load(topology, matrix)
+    assert cached == recomputed
+
+
+def test_calibration_custom_oracle_never_cached():
+    clear_calibration_cache()
+    topology = triangle_topology()
+    matrix = TrafficMatrix({("a", "c"): mbps(10)})
+    calls = []
+
+    def oracle(topo, demands):
+        calls.append(demands.total_bps)
+        return demands.total_bps <= mbps(50)
+
+    first = calibrate_max_load(topology, matrix, oracle=oracle)
+    count = len(calls)
+    second = calibrate_max_load(topology, matrix, oracle=oracle)
+    assert len(calls) == 2 * count  # re-evaluated, not served from the memo
+    assert first == second
+    assert calibration_cache_stats() == {"hits": 0, "misses": 0}
+    with pytest.raises(TrafficError):
+        calibrate_max_load(topology, TrafficMatrix({}))
+
+
+# --------------------------------------------------------------------- #
+# Compiled flow-set cache (allocate_rates regression)
+# --------------------------------------------------------------------- #
+
+
+def test_allocate_rates_reuses_compiled_flow_set(monkeypatch):
+    topology, flows = fattree_flows(num_flows=20)
+    network = SimulatedNetwork(topology)
+    usable_calls = []
+    compile_calls = []
+    original_usable = network.link_usable_vector
+    original_compile = network.arc_table.compile_path
+
+    def counting_usable():
+        usable_calls.append(1)
+        return original_usable()
+
+    def counting_compile(path):
+        compile_calls.append(1)
+        return original_compile(path)
+
+    monkeypatch.setattr(network, "link_usable_vector", counting_usable)
+    monkeypatch.setattr(network.arc_table, "compile_path", counting_compile)
+
+    network.allocate_rates(flows, now_s=0.0)
+    baseline_usable = len(usable_calls)
+    baseline_compile = len(compile_calls)
+    assert baseline_usable >= 1 and baseline_compile >= 1
+
+    # Same flows, same link state: the compiled set is reused untouched.
+    network.allocate_rates(flows, now_s=10.0)
+    network.allocate_rates_batch(flows, [0.0, 900.0])
+    assert len(usable_calls) == baseline_usable
+    assert len(compile_calls) == baseline_compile
+
+
+def test_compiled_flow_set_invalidated_on_link_state_change():
+    topology, flows = fattree_flows(num_flows=20)
+    network = SimulatedNetwork(topology)
+    network.allocate_rates(flows, now_s=0.0)
+    before = np.array([flow.rate_bps for flow in flows])
+    victim = sorted({arc for flow in flows for arc in flow.path.link_keys()})[0]
+    network.fail_link(*victim)
+    network.allocate_rates(flows, now_s=0.0)
+    after = np.array([flow.rate_bps for flow in flows])
+    assert not np.array_equal(before, after)
+    crossing = [
+        index
+        for index, flow in enumerate(flows)
+        if victim in set(flow.path.link_keys())
+    ]
+    assert crossing and all(after[index] == 0.0 for index in crossing)
+    # Repairing restores the original allocation bit for bit.
+    network.repair_link(*victim)
+    network.allocate_rates(flows, now_s=0.0)
+    assert np.array_equal(
+        before, np.array([flow.rate_bps for flow in flows])
+    )
+
+
+def test_compiled_flow_set_invalidated_on_path_reassignment():
+    topology, flows = fattree_flows(num_flows=10)
+    network = SimulatedNetwork(topology)
+    network.allocate_rates(flows, now_s=0.0)
+    moved = flows[0]
+    detour = Path.of(topology.shortest_path(moved.origin, moved.destination))
+    moved.path = detour  # a fresh Path object: the cache key must change
+    network.allocate_rates(flows, now_s=0.0)
+    # The rewritten path is what the arc loads reflect now.
+    loads = sum(
+        network.arc_load(src, dst) for (src, dst) in detour.arc_keys()
+    )
+    assert loads > 0.0

@@ -10,8 +10,12 @@ from repro.routing import Path, link_loads, solve_mcf
 from repro.routing.ospf import ospf_invcap_routing
 from repro.simulator import Flow, SimulatedNetwork, constant_demand
 from repro.simulator.fairness import (
+    SparseIncidence,
     batch_max_min_fair_rates,
+    batch_max_min_fair_rates_sparse,
+    grouped_max_min_fair_rates,
     max_min_fair_rates,
+    max_min_fair_rates_sparse,
     pairwise_sum,
 )
 from repro.simulator.reference import reference_max_min_rates
@@ -346,6 +350,176 @@ def test_pairwise_sum_is_order_fixed_and_accurate(values):
     batched = pairwise_sum(stacked, axis=-1)
     assert batched.shape == (2,)
     assert batched[0] == total
+
+
+# --------------------------------------------------------------------- #
+# Sparse fairness kernels: CSR twins == dense, bit for bit
+# --------------------------------------------------------------------- #
+@settings(max_examples=120, deadline=None)
+@given(problem=fairness_problems())
+def test_sparse_serial_fairness_is_bit_identical_to_dense(problem):
+    demands, flat_flow, flat_arc, capacity = problem
+    for row in range(demands.shape[0]):
+        dense = max_min_fair_rates(demands[row], flat_flow, flat_arc, capacity)
+        sparse = max_min_fair_rates_sparse(
+            demands[row], flat_flow, flat_arc, capacity
+        )
+        assert np.array_equal(dense, sparse)
+
+
+@settings(max_examples=80, deadline=None)
+@given(problem=fairness_problems())
+def test_sparse_batch_fairness_is_bit_identical_to_dense(problem):
+    demands, flat_flow, flat_arc, capacity = problem
+    dense = batch_max_min_fair_rates(demands, flat_flow, flat_arc, capacity)
+    sparse = batch_max_min_fair_rates_sparse(demands, flat_flow, flat_arc, capacity)
+    assert np.array_equal(dense, sparse)
+    # Per-element capacities: row i gets a distinct capacity vector.
+    capacities = np.stack(
+        [capacity * (row + 1) for row in range(demands.shape[0])]
+    )
+    dense_stacked = batch_max_min_fair_rates(demands, flat_flow, flat_arc, capacities)
+    sparse_stacked = batch_max_min_fair_rates_sparse(
+        demands, flat_flow, flat_arc, capacities
+    )
+    assert np.array_equal(dense_stacked, sparse_stacked)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=fairness_problems())
+def test_sparse_incidence_reuse_matches_fresh_build(problem):
+    demands, flat_flow, flat_arc, capacity = problem
+    incidence = SparseIncidence(
+        flat_flow, flat_arc, demands.shape[1], capacity.shape[0]
+    )
+    fresh = batch_max_min_fair_rates_sparse(demands, flat_flow, flat_arc, capacity)
+    reused = batch_max_min_fair_rates_sparse(
+        demands, flat_flow, flat_arc, capacity, incidence=incidence
+    )
+    assert np.array_equal(fresh, reused)
+
+
+def test_sparse_fairness_edge_cases():
+    empty = np.array([], dtype=np.int64)
+    # All-zero demands freeze immediately at rate zero.
+    zeros = max_min_fair_rates_sparse(
+        np.zeros(3),
+        np.array([0, 1, 2], dtype=np.int64),
+        np.array([0, 0, 0], dtype=np.int64),
+        np.array([mbps(10)]),
+    )
+    assert np.array_equal(zeros, np.zeros(3))
+    # A flow crossing an exhausted (zero-capacity) arc is killed at zero
+    # while the unconstrained flow still gets its full demand.
+    rates = max_min_fair_rates_sparse(
+        np.array([mbps(10), mbps(20)]),
+        np.array([0], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+        np.array([0.0]),
+    )
+    assert rates[0] == 0.0 and rates[1] == mbps(20)
+    # Arcless problems are purely demand-limited.
+    free = max_min_fair_rates_sparse(
+        np.array([mbps(5)]), empty, empty, np.array([], dtype=float)
+    )
+    assert free[0] == mbps(5)
+    # The batch twin validates shapes exactly like the dense kernel.
+    with pytest.raises(ValueError):
+        batch_max_min_fair_rates_sparse(np.zeros(3), empty, empty, np.array([1.0]))
+
+
+# --------------------------------------------------------------------- #
+# Grouped kernel: aggregate-then-allocate == allocate-then-sum
+# --------------------------------------------------------------------- #
+@st.composite
+def grouped_problems(draw):
+    """A group-level incidence plus a member population per group.
+
+    Groups with zero members appear on purpose: they contribute no dense
+    entries, so the grouped kernel must ignore their arcs entirely.
+    """
+    demands, flat_flow, flat_arc, capacity = draw(fairness_problems())
+    num_groups = demands.shape[1]
+    members = [draw(st.integers(min_value=0, max_value=3)) for _ in range(num_groups)]
+    value = st.floats(
+        min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+    )
+    flow_group = np.array(
+        [group for group, count in enumerate(members) for _ in range(count)],
+        dtype=np.int64,
+    )
+    member_demands = np.array([draw(value) for _ in flow_group])
+    return member_demands, flow_group, flat_flow, flat_arc, capacity, num_groups
+
+
+@settings(max_examples=100, deadline=None)
+@given(problem=grouped_problems())
+def test_grouped_fairness_matches_expanded_dense(problem):
+    demands, flow_group, flat_group, flat_arc, capacity, num_groups = problem
+    grouped = grouped_max_min_fair_rates(
+        demands, flow_group, flat_group, flat_arc, capacity, num_groups=num_groups
+    )
+    # Expand the group incidence to one entry per member flow and run the
+    # dense per-flow kernel on it: the equivalence contract is bit-for-bit.
+    arcs_of_group = [[] for _ in range(num_groups)]
+    for group, arc in zip(flat_group, flat_arc):
+        arcs_of_group[group].append(arc)
+    expanded_flow = np.array(
+        [
+            index
+            for index, group in enumerate(flow_group)
+            for _ in arcs_of_group[group]
+        ],
+        dtype=np.int64,
+    )
+    expanded_arc = np.array(
+        [arc for group in flow_group for arc in arcs_of_group[group]],
+        dtype=np.int64,
+    )
+    dense = max_min_fair_rates(demands, expanded_flow, expanded_arc, capacity)
+    assert np.array_equal(grouped, dense)
+
+
+# --------------------------------------------------------------------- #
+# Traffic aggregation: volume conservation and determinism
+# --------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=12),
+)
+def test_aggregate_matrix_conserves_volume(seed, num_pairs):
+    import random as random_module
+
+    from repro.topology.fattree import build_fattree
+    from repro.topology.fattree import hosts as fattree_hosts
+    from repro.traffic import aggregate_matrix, aggregation_map
+
+    topology = build_fattree(4)
+    endpoints = fattree_hosts(topology)
+    rng = random_module.Random(seed)
+    demands = {}
+    for _ in range(num_pairs):
+        origin, destination = rng.sample(endpoints, 2)
+        demands[(origin, destination)] = demands.get(
+            (origin, destination), 0.0
+        ) + rng.uniform(0.0, 1e8)
+    matrix = TrafficMatrix(demands, name="hosts")
+    aggregated = aggregate_matrix(topology, matrix, "aggregation")
+    # Aggregation moves volume between endpoints but never creates or
+    # destroys it, and it can only shrink the pair count.
+    assert aggregated.total_bps == pytest.approx(matrix.total_bps, rel=1e-12)
+    assert len(aggregated) <= len(matrix)
+    assert aggregated.name == "hosts@aggregation"
+    # Every aggregated endpoint is either an aggregation switch or an
+    # original host kept because both ends share an ancestor.
+    ancestors = aggregation_map(topology, endpoints, "aggregation")
+    for origin, destination in aggregated.pairs():
+        assert origin in ancestors.values() or origin in endpoints
+        assert destination in ancestors.values() or destination in endpoints
+    # Deterministic: re-aggregating yields the same demands bit for bit.
+    again = aggregate_matrix(topology, matrix, "aggregation")
+    assert dict(again.items()) == dict(aggregated.items())
 
 
 # --------------------------------------------------------------------- #
