@@ -20,6 +20,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
+from ..obs import trace
 from .report import (
     deviation_from_best,
     filter_rows,
@@ -125,6 +126,21 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
         default=None,
         help="also read/write the sweep runner's per-point pickle cache",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append an NDJSON span trace of the drain to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record a per-point phase-timing breakdown "
+            "(build/calibrate/solve/allocate/overhead) into the store for "
+            "campaign-report --timings"
+        ),
+    )
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     args = parser.parse_args(argv)
 
@@ -157,7 +173,15 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
             "evaluates grouped points in-process (combine --batch with "
             "--workers to use more cores)"
         )
+    if args.profile and args.parallel:
+        parser.error(
+            "--profile and --parallel are mutually exclusive: profiling "
+            "instruments in-process execution (combine --profile with "
+            "--workers or --batch instead)"
+        )
 
+    if args.trace:
+        trace.configure_tracing(args.trace)
     try:
         spec = _load_campaign_spec(args.spec)
         if args.workers is not None:
@@ -170,6 +194,7 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
                 sweep_cache_dir=args.cache_dir,
                 lease_seconds=args.lease_seconds,
                 batch=args.batch,
+                profile=args.profile,
             )
         else:
             summary = run_campaign(
@@ -183,9 +208,13 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
                 worker_id=args.worker_id,
                 lease_seconds=args.lease_seconds,
                 batch=args.batch,
+                profile=args.profile,
             )
     except ConfigurationError as error:
         parser.error(str(error))
+    finally:
+        if args.trace:
+            trace.disable_tracing()
     if args.json:
         print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
         return 1 if summary.failed else 0
@@ -218,6 +247,30 @@ def _run_campaign_command(argv: Sequence[str]) -> int:
     return 1 if summary.failed else 0
 
 
+def _throughput_fields(
+    stats: Dict[str, float], remaining: int
+) -> Dict[str, Optional[float]]:
+    """Derive ``points_per_second``/``eta_seconds`` from completion stats.
+
+    Both are ``None`` when the campaign has no completed points (or no
+    recorded wall-clock) to extrapolate from; ``eta_seconds`` is ``0.0``
+    once nothing remains.
+    """
+    done = stats.get("done", 0)
+    elapsed = stats.get("elapsed_s", 0.0)
+    points_per_second = done / elapsed if done and elapsed > 0 else None
+    if remaining <= 0:
+        eta_seconds: Optional[float] = 0.0
+    elif points_per_second:
+        eta_seconds = remaining / points_per_second
+    else:
+        eta_seconds = None
+    return {
+        "points_per_second": points_per_second,
+        "eta_seconds": eta_seconds,
+    }
+
+
 def _campaign_status_command(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments campaign-status",
@@ -242,6 +295,13 @@ def _campaign_status_command(argv: Sequence[str]) -> int:
                 row["campaign_id"]: store.active_leases(row["campaign_id"])
                 for row in campaigns
             }
+            for row in campaigns:
+                remaining = (row["num_points"] or 0) - (row["done"] or 0)
+                row.update(
+                    _throughput_fields(
+                        store.completion_stats(row["campaign_id"]), remaining
+                    )
+                )
             detail: Optional[List[Dict[str, Any]]] = None
             selected: Optional[Dict[str, Any]] = None
             if args.campaign is not None:
@@ -275,6 +335,13 @@ def _campaign_status_command(argv: Sequence[str]) -> int:
     ]
     print(format_table(rows))
     for row in campaigns:
+        pps = row.get("points_per_second")
+        eta = row.get("eta_seconds")
+        if pps is not None and eta not in (None, 0.0):
+            print(
+                f"  throughput: {row['name']} at {pps:.2f} points/s, "
+                f"ETA {eta:.0f}s"
+            )
         for lease in leases.get(row["campaign_id"], []):
             print(
                 f"  lease: {lease['worker']} holds {lease['points']} point(s) "
@@ -296,6 +363,51 @@ def _campaign_status_command(argv: Sequence[str]) -> int:
             point_rows.append(entry)
         print(format_table(point_rows))
     return 0
+
+
+def _format_timings(
+    campaign: Dict[str, Any], timings: Dict[str, Any], output_format: str
+) -> str:
+    """Render a ``campaign-report --timings`` phase breakdown."""
+    points = timings["points"]
+    totals: Dict[str, float] = timings["totals"]
+    if output_format == "json":
+        payload = {
+            "campaign_id": campaign["campaign_id"],
+            "name": campaign["name"],
+            "profiled_points": points,
+            "totals_s": totals,
+            "mean_s": {
+                phase: seconds / points for phase, seconds in totals.items()
+            }
+            if points
+            else {},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    header = (
+        f"campaign: {campaign['name']} ({campaign['campaign_id'][:12]}, "
+        f"{points} profiled points)"
+    )
+    if not points:
+        return (
+            header
+            + "\nno phase timings recorded — drain the campaign with "
+            "run-campaign --profile first\n"
+        )
+    grand_total = sum(totals.values()) or 1.0
+    phases = list(trace.PHASE_NAMES) + sorted(
+        set(totals) - set(trace.PHASE_NAMES)
+    )
+    rows = [
+        {
+            "phase": phase,
+            "total_s": round(totals.get(phase, 0.0), 3),
+            "mean_s": round(totals.get(phase, 0.0) / points, 4),
+            "share": f"{100.0 * totals.get(phase, 0.0) / grand_total:.1f}%",
+        }
+        for phase in phases
+    ]
+    return header + "\n" + format_table(rows) + "\n"
 
 
 def _campaign_report_command(argv: Sequence[str]) -> int:
@@ -334,6 +446,15 @@ def _campaign_report_command(argv: Sequence[str]) -> int:
         default="table",
         help="output format (csv/json export the flat metric rows)",
     )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help=(
+            "report the aggregated per-phase timings "
+            "(build/calibrate/solve/allocate/overhead) of points drained "
+            "with run-campaign --profile, instead of metric aggregates"
+        ),
+    )
     parser.add_argument("--output", metavar="PATH", help="write the output to PATH")
     args = parser.parse_args(argv)
     _require_store(args.store, parser)
@@ -343,6 +464,16 @@ def _campaign_report_command(argv: Sequence[str]) -> int:
         # wait on) write locks.
         with CampaignStore(args.store, read_only=True) as store:
             campaign = store.find_campaign(args.campaign)
+            if args.timings:
+                timings = store.phase_totals(campaign["campaign_id"])
+                text = _format_timings(campaign, timings, args.format)
+                if args.output:
+                    with open(args.output, "w", encoding="utf-8") as handle:
+                        handle.write(text)
+                    print(f"wrote {args.format} timings report to {args.output}")
+                else:
+                    print(text, end="" if text.endswith("\n") else "\n")
+                return 0
             known_metrics = store.metric_names(campaign["campaign_id"])
             if known_metrics and args.metric not in known_metrics:
                 raise ConfigurationError(

@@ -45,6 +45,7 @@ from ..experiments.runner import (
     plan_point_batches,
     suggest_chunk_size,
 )
+from ..obs import trace
 from ..scenario.engine import ScenarioResult
 from .spec import CampaignPoint, CampaignSpec
 from .store import CampaignStore, PointRecord
@@ -142,7 +143,11 @@ def _coerce_campaign(spec: Any) -> CampaignSpec:
     )
 
 
-def _outcome_record(point: CampaignPoint, outcome: PointOutcome) -> PointRecord:
+def _outcome_record(
+    point: CampaignPoint,
+    outcome: PointOutcome,
+    phases: Optional[Dict[str, float]] = None,
+) -> PointRecord:
     """Turn one executed outcome into its persistable record.
 
     Besides passing failures through, this guards the store's resume
@@ -152,7 +157,10 @@ def _outcome_record(point: CampaignPoint, outcome: PointOutcome) -> PointRecord:
     """
     if not outcome.ok:
         return PointRecord(
-            point=point, error=outcome.error, elapsed_s=outcome.elapsed_s
+            point=point,
+            error=outcome.error,
+            elapsed_s=outcome.elapsed_s,
+            phases=phases,
         )
     result = outcome.value
     if not isinstance(result, ScenarioResult):
@@ -163,7 +171,39 @@ def _outcome_record(point: CampaignPoint, outcome: PointOutcome) -> PointRecord:
             f"the expanded point's {point.config_hash}"
         )
         return PointRecord(point=point, error=message, elapsed_s=outcome.elapsed_s)
-    return PointRecord(point=point, result=result, elapsed_s=outcome.elapsed_s)
+    return PointRecord(
+        point=point, result=result, elapsed_s=outcome.elapsed_s, phases=phases
+    )
+
+
+def _profiled_outcome(
+    sweep_point: Any, cache_dir: Optional[Union[str, os.PathLike]]
+) -> tuple:
+    """Execute one point under a fresh phase collector.
+
+    Returns ``(outcome, phases)`` where *phases* is the exclusive
+    build/calibrate/solve/allocate/overhead attribution of the point's
+    own wall-clock time.
+    """
+    collector = trace.PhaseCollector()
+    with trace.collect(collector):
+        outcome = execute_point_outcome(sweep_point, cache_dir)
+    return outcome, collector.phases(outcome.elapsed_s)
+
+
+def _shared_phases(
+    collector: trace.PhaseCollector, elapsed_s: float, count: int
+) -> Dict[str, float]:
+    """A batch group's phase totals split evenly across its points.
+
+    Mirrors the group's ``elapsed_s``-share semantics: each point carries
+    ``1/count`` of every phase, so per-point rows still sum to the group.
+    """
+    share = max(1, count)
+    return {
+        phase: seconds / share
+        for phase, seconds in collector.phases(elapsed_s).items()
+    }
 
 
 def _tally(summary: CampaignRunSummary, record: PointRecord) -> None:
@@ -191,6 +231,7 @@ def _drain_as_worker(
     sweep_cache_dir: Optional[Union[str, os.PathLike]],
     poll_seconds: float,
     batch: bool = False,
+    profile: bool = False,
 ) -> None:
     """The cooperative drain loop of one lease-holding worker.
 
@@ -225,21 +266,44 @@ def _drain_as_worker(
                 points = [by_hash[config_hash] for config_hash in claimed]
                 sweep_points = [point.spec.sweep_point() for point in points]
                 for group in plan_point_batches(sweep_points):
-                    outcomes = execute_scenario_batch(
-                        [sweep_points[index] for index in group], sweep_cache_dir
-                    )
+                    group_points = [sweep_points[index] for index in group]
+                    if profile:
+                        collector = trace.PhaseCollector()
+                        group_start = time.perf_counter()
+                        with trace.collect(collector):
+                            outcomes = execute_scenario_batch(
+                                group_points, sweep_cache_dir
+                            )
+                        phases = _shared_phases(
+                            collector,
+                            time.perf_counter() - group_start,
+                            len(group),
+                        )
+                    else:
+                        outcomes = execute_scenario_batch(
+                            group_points, sweep_cache_dir
+                        )
+                        phases = None
                     for index, outcome in zip(group, outcomes):
-                        records.append(_outcome_record(points[index], outcome))
+                        records.append(
+                            _outcome_record(points[index], outcome, phases=phases)
+                        )
                     # Heartbeat between groups: the lease only expires if
                     # this worker actually stops making progress.
                     store.renew_leases(campaign_id, worker_id, lease_seconds)
             else:
                 for config_hash in claimed:
                     point = by_hash[config_hash]
-                    outcome = execute_point_outcome(
-                        point.spec.sweep_point(), sweep_cache_dir
-                    )
-                    records.append(_outcome_record(point, outcome))
+                    if profile:
+                        outcome, phases = _profiled_outcome(
+                            point.spec.sweep_point(), sweep_cache_dir
+                        )
+                    else:
+                        outcome = execute_point_outcome(
+                            point.spec.sweep_point(), sweep_cache_dir
+                        )
+                        phases = None
+                    records.append(_outcome_record(point, outcome, phases=phases))
                     # Heartbeat between points: the lease only expires if
                     # this worker actually stops making progress.
                     store.renew_leases(campaign_id, worker_id, lease_seconds)
@@ -267,6 +331,7 @@ def run_campaign(
     poll_seconds: float = DEFAULT_POLL_SECONDS,
     reset_errors: bool = True,
     batch: bool = False,
+    profile: bool = False,
 ) -> CampaignRunSummary:
     """Execute (or resume) a campaign against a results store.
 
@@ -309,6 +374,13 @@ def run_campaign(
             Each group commits as one atomic chunk.  Mutually exclusive
             with ``parallel``; composes with worker mode (each claim is
             grouped internally).
+        profile: Collect a per-point phase-timing breakdown
+            (build/calibrate/solve/allocate/overhead) and persist it on
+            the point rows (``phases_json``) for ``campaign-report
+            --timings``.  In-process execution only — mutually exclusive
+            with ``parallel``.  Batched groups split their phase totals
+            evenly across the group's points, mirroring the ``elapsed_s``
+            share.
 
     Returns:
         A :class:`CampaignRunSummary`.  Point failures are recorded in the
@@ -324,6 +396,11 @@ def run_campaign(
         raise ConfigurationError(
             "batch mode evaluates grouped points in-process; drop "
             "parallel=True (combine batch with workers to use more cores)"
+        )
+    if profile and parallel:
+        raise ConfigurationError(
+            "profiling instruments in-process execution; drop parallel=True "
+            "(combine profile with workers or batch mode instead)"
         )
     if max_points is not None and max_points < 0:
         raise ConfigurationError(f"max_points must be >= 0, got {max_points}")
@@ -372,6 +449,7 @@ def run_campaign(
                 sweep_cache_dir=sweep_cache_dir,
                 poll_seconds=poll_seconds,
                 batch=batch,
+                profile=profile,
             )
             summary.elapsed_s = time.perf_counter() - start
             counts = store.status_counts(campaign_id)
@@ -395,11 +473,22 @@ def run_campaign(
             # points, as in serial mode.
             start = time.perf_counter()
             for group in plan_point_batches(sweep_points):
-                outcomes = execute_scenario_batch(
-                    [sweep_points[index] for index in group], sweep_cache_dir
-                )
+                group_points = [sweep_points[index] for index in group]
+                if profile:
+                    collector = trace.PhaseCollector()
+                    group_start = time.perf_counter()
+                    with trace.collect(collector):
+                        outcomes = execute_scenario_batch(
+                            group_points, sweep_cache_dir
+                        )
+                    phases = _shared_phases(
+                        collector, time.perf_counter() - group_start, len(group)
+                    )
+                else:
+                    outcomes = execute_scenario_batch(group_points, sweep_cache_dir)
+                    phases = None
                 records = [
-                    _outcome_record(pending[index], outcome)
+                    _outcome_record(pending[index], outcome, phases=phases)
                     for index, outcome in zip(group, outcomes)
                 ]
                 for record in records:
@@ -410,6 +499,29 @@ def run_campaign(
             summary.remaining = counts["total"] - counts["done"]
             return summary
         start = time.perf_counter()
+        if profile:
+            # Per-point phase collection needs in-process execution (the
+            # parallel combination is rejected above), so the profiled
+            # serial path chunks explicitly instead of going through
+            # iter_outcome_chunks.
+            size = 1 if chunk_size is None else chunk_size
+            if size < 1:
+                raise ConfigurationError(f"chunk_size must be >= 1, got {size}")
+            for chunk_start in range(0, len(pending), size):
+                chunk_points = pending[chunk_start : chunk_start + size]
+                records = []
+                for point in chunk_points:
+                    outcome, phases = _profiled_outcome(
+                        point.spec.sweep_point(), sweep_cache_dir
+                    )
+                    records.append(_outcome_record(point, outcome, phases=phases))
+                for record in records:
+                    _tally(summary, record)
+                store.record_chunk(campaign_id, records)
+            summary.elapsed_s = time.perf_counter() - start
+            counts = store.status_counts(campaign_id)
+            summary.remaining = counts["total"] - counts["done"]
+            return summary
         for chunk in iter_outcome_chunks(
             sweep_points,
             cache_dir=sweep_cache_dir,
@@ -444,6 +556,7 @@ def _worker_process_entry(args: tuple) -> Dict[str, Any]:
         sweep_cache_dir,
         poll_seconds,
         batch,
+        profile,
     ) = args
     summary = run_campaign(
         spec_dict,
@@ -455,6 +568,7 @@ def _worker_process_entry(args: tuple) -> Dict[str, Any]:
         lease_seconds=lease_seconds,
         poll_seconds=poll_seconds,
         batch=batch,
+        profile=profile,
         # The fleet launcher already reset error points once, before any
         # worker started; resetting again here would race against peers
         # that have just re-failed a point.
@@ -473,6 +587,7 @@ def run_campaign_workers(
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
     poll_seconds: float = DEFAULT_POLL_SECONDS,
     batch: bool = False,
+    profile: bool = False,
 ) -> CampaignRunSummary:
     """Fork N cooperative workers that drain one campaign together.
 
@@ -501,6 +616,8 @@ def run_campaign_workers(
         batch: Each worker groups the points of every claim by their batch
             signature and evaluates each group as one batched problem (see
             :func:`run_campaign`).
+        profile: Each worker records per-point phase timings into the
+            store (see :func:`run_campaign`).
 
     Returns:
         The aggregated :class:`CampaignRunSummary` (``workers`` set).
@@ -548,6 +665,7 @@ def run_campaign_workers(
             str(sweep_cache_dir) if sweep_cache_dir is not None else None,
             poll_seconds,
             batch,
+            profile,
         )
         for index in range(workers)
     ]

@@ -72,13 +72,15 @@ from typing import (
 )
 
 from ..exceptions import ConfigurationError
+from ..obs import metrics
 from ..scenario.engine import ScenarioResult
 from .spec import CampaignPoint, CampaignSpec
 
 #: Bump on incompatible schema changes (checked against ``PRAGMA user_version``).
 #: Version 2 added the lease columns (``lease_owner``, ``lease_expires_at``)
-#: to ``points``; version-1 stores are migrated in place on open.
-STORE_SCHEMA_VERSION = 2
+#: to ``points``; version 3 added the optional ``phases_json`` profile
+#: column.  Older stores are migrated in place on a writable open.
+STORE_SCHEMA_VERSION = 3
 
 #: How long a writable connection waits on a locked database before SQLite
 #: itself gives up (seconds).  Generous by design: campaign transactions
@@ -110,6 +112,7 @@ CREATE TABLE IF NOT EXISTS points (
     completed_at     TEXT,
     lease_owner      TEXT,
     lease_expires_at REAL,
+    phases_json      TEXT,
     PRIMARY KEY (campaign_id, config_hash)
 );
 CREATE TABLE IF NOT EXISTS results (
@@ -131,6 +134,33 @@ CREATE INDEX IF NOT EXISTS idx_points_status ON points(campaign_id, status);
 _MIGRATE_V1_TO_V2 = (
     "ALTER TABLE points ADD COLUMN lease_owner TEXT",
     "ALTER TABLE points ADD COLUMN lease_expires_at REAL",
+)
+
+#: Statements migrating a version-2 store (no profile column) in place.
+_MIGRATE_V2_TO_V3 = (
+    "ALTER TABLE points ADD COLUMN phases_json TEXT",
+)
+
+#: In-place migrations, keyed by the version they upgrade *from*.  Each
+#: entry moves a store one version forward; a writable open chains them
+#: until the store reaches :data:`STORE_SCHEMA_VERSION`.
+_MIGRATIONS: Dict[int, Tuple[str, ...]] = {
+    1: _MIGRATE_V1_TO_V2,
+    2: _MIGRATE_V2_TO_V3,
+}
+
+_LEASE_CLAIMS = metrics.counter(
+    "repro_campaign_lease_claims_total", "Points leased to workers"
+)
+_LEASE_TAKEOVERS = metrics.counter(
+    "repro_campaign_lease_takeovers_total",
+    "Points re-leased after their previous owner's lease expired",
+)
+_LEASE_RENEWALS = metrics.counter(
+    "repro_campaign_lease_renewals_total", "Lease heartbeat renewals"
+)
+_LEASE_RELEASES = metrics.counter(
+    "repro_campaign_lease_releases_total", "Leases dropped on clean shutdown"
 )
 
 #: Result/metric fields that carry wall-clock measurements.  They differ
@@ -184,12 +214,15 @@ class PointRecord:
         result: The scenario result on success, ``None`` on failure.
         error: The failure traceback, ``None`` on success.
         elapsed_s: Wall-clock execution time of the point.
+        phases: Optional phase-timing breakdown (``--profile`` runs only),
+            keyed by :data:`repro.obs.PHASE_NAMES`.
     """
 
     point: CampaignPoint
     result: Optional[ScenarioResult] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -278,31 +311,31 @@ class CampaignStore:
             self._connection.execute(
                 f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
             )
-        elif version == 1 and not read_only:
-            # In-place migration: v1 predates the lease columns.  Adding
-            # nullable columns preserves every stored row and keeps v1
-            # stores resumable by this code.  The version is re-read after
-            # the write lock is held: two processes opening a v1 store
-            # concurrently both pass the check above, and the one that
-            # loses the lock race must not repeat the ALTERs.
+        elif version in _MIGRATIONS and not read_only:
+            # In-place migration: every step only adds nullable columns, so
+            # stored rows survive and older stores stay resumable by this
+            # code.  The version is re-read after the write lock is held:
+            # two processes opening an old store concurrently both pass the
+            # check above, and the one that loses the lock race must not
+            # repeat the ALTERs.
             try:
                 with self.transaction():
                     current = self._connection.execute(
                         "PRAGMA user_version"
                     ).fetchone()[0]
-                    if current == 1:
-                        for statement in _MIGRATE_V1_TO_V2:
+                    while current in _MIGRATIONS:
+                        for statement in _MIGRATIONS[current]:
                             self._connection.execute(statement)
+                        current += 1
                         self._connection.execute(
-                            f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
+                            f"PRAGMA user_version = {current}"
                         )
             except BaseException:
                 self._connection.close()
                 raise
-        elif version == 1 and read_only:
-            # A v1 store is readable as-is: the query layer never touches
-            # the lease columns.  Migration happens on the next writable
-            # open.
+        elif version in _MIGRATIONS and read_only:
+            # An old store is readable as-is: the query layer tolerates the
+            # missing columns.  Migration happens on the next writable open.
             pass
         elif version != STORE_SCHEMA_VERSION:
             self._connection.close()
@@ -502,7 +535,7 @@ class CampaignStore:
         now = time.time() if now is None else now
         with self.transaction() as connection:
             rows = connection.execute(
-                "SELECT config_hash FROM points "
+                "SELECT config_hash, lease_owner FROM points "
                 "WHERE campaign_id = ? AND status = 'pending' "
                 "AND (lease_owner IS NULL OR lease_expires_at IS NULL "
                 "     OR lease_expires_at <= ?) "
@@ -510,6 +543,11 @@ class CampaignStore:
                 (campaign_id, now, limit),
             ).fetchall()
             hashes = [row["config_hash"] for row in rows]
+            takeovers = sum(
+                1
+                for row in rows
+                if row["lease_owner"] is not None and row["lease_owner"] != worker_id
+            )
             connection.executemany(
                 "UPDATE points SET lease_owner = ?, lease_expires_at = ? "
                 "WHERE campaign_id = ? AND config_hash = ?",
@@ -518,6 +556,10 @@ class CampaignStore:
                     for config_hash in hashes
                 ],
             )
+        if hashes:
+            _LEASE_CLAIMS.inc(len(hashes))
+        if takeovers:
+            _LEASE_TAKEOVERS.inc(takeovers)
         return hashes
 
     def renew_leases(
@@ -540,7 +582,10 @@ class CampaignStore:
                 "WHERE campaign_id = ? AND lease_owner = ? AND status = 'pending'",
                 (now + lease_seconds, campaign_id, worker_id),
             )
-            return cursor.rowcount
+            renewed = cursor.rowcount
+        if renewed:
+            _LEASE_RENEWALS.inc(renewed)
+        return renewed
 
     def release_leases(self, campaign_id: str, worker_id: str) -> int:
         """Drop every lease *worker_id* holds (clean shutdown / interrupt).
@@ -555,7 +600,10 @@ class CampaignStore:
                 "WHERE campaign_id = ? AND lease_owner = ?",
                 (campaign_id, worker_id),
             )
-            return cursor.rowcount
+            released = cursor.rowcount
+        if released:
+            _LEASE_RELEASES.inc(released)
+        return released
 
     def active_leases(
         self, campaign_id: str, now: Optional[float] = None
@@ -603,12 +651,25 @@ class CampaignStore:
     ) -> None:
         """Write one outcome's rows (no transaction management here)."""
         point = record.point
+        phases_json = (
+            json.dumps(record.phases, sort_keys=True)
+            if record.phases is not None
+            else None
+        )
         if record.error is not None:
             connection.execute(
                 "UPDATE points SET status = 'error', error = ?, elapsed_s = ?, "
-                "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL "
+                "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL, "
+                "phases_json = ? "
                 "WHERE campaign_id = ? AND config_hash = ?",
-                (record.error, record.elapsed_s, _now(), campaign_id, point.config_hash),
+                (
+                    record.error,
+                    record.elapsed_s,
+                    _now(),
+                    phases_json,
+                    campaign_id,
+                    point.config_hash,
+                ),
             )
             return
         result_dict = record.result.to_dict()
@@ -631,9 +692,10 @@ class CampaignStore:
         )
         connection.execute(
             "UPDATE points SET status = 'done', error = NULL, elapsed_s = ?, "
-            "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL "
+            "completed_at = ?, lease_owner = NULL, lease_expires_at = NULL, "
+            "phases_json = ? "
             "WHERE campaign_id = ? AND config_hash = ?",
-            (record.elapsed_s, _now(), campaign_id, point.config_hash),
+            (record.elapsed_s, _now(), phases_json, campaign_id, point.config_hash),
         )
 
     def record_chunk(
@@ -782,6 +844,8 @@ class CampaignStore:
             entry = dict(row)
             entry["axes"] = json.loads(entry.pop("axes_json"))
             entry["spec"] = json.loads(entry.pop("spec_json"))
+            phases_json = entry.pop("phases_json", None)
+            entry["phases"] = json.loads(phases_json) if phases_json else None
             decoded.append(entry)
         return decoded
 
@@ -809,6 +873,8 @@ class CampaignStore:
             result_json = entry.pop("result_json")
             entry["axes"] = json.loads(entry.pop("axes_json"))
             entry["spec"] = json.loads(entry.pop("spec_json"))
+            phases_json = entry.pop("phases_json", None)
+            entry["phases"] = json.loads(phases_json) if phases_json else None
             yield entry, ScenarioResult.from_dict(json.loads(result_json))
 
     def metric_rows(self, campaign_id: str) -> List[Dict[str, Any]]:
@@ -841,6 +907,44 @@ class CampaignStore:
                 flattened[key] = entry
             entry[row["metric"]] = row["value"]
         return [flattened[key] for key in sorted(flattened)]
+
+    def completion_stats(self, campaign_id: str) -> Dict[str, float]:
+        """Throughput basis: done-point count and their summed wall-clock.
+
+        ``campaign-status`` derives ``points_per_second`` and an ETA from
+        these two numbers; both are zero for a campaign with no completed
+        points yet.
+        """
+        row = self._connection.execute(
+            "SELECT COUNT(*) AS done, COALESCE(SUM(elapsed_s), 0.0) AS elapsed "
+            "FROM points WHERE campaign_id = ? AND status = 'done'",
+            (campaign_id,),
+        ).fetchone()
+        return {"done": int(row["done"]), "elapsed_s": float(row["elapsed"])}
+
+    def phase_totals(self, campaign_id: str) -> Dict[str, Any]:
+        """Aggregate stored ``--profile`` phase timings across done points.
+
+        Returns ``{"points": N, "totals": {phase: seconds}}`` summed over
+        every completed point that carries a phase breakdown.  Empty when
+        the campaign was drained without ``--profile`` (or the store
+        predates the column).
+        """
+        try:
+            rows = self._connection.execute(
+                "SELECT phases_json FROM points "
+                "WHERE campaign_id = ? AND status = 'done' "
+                "AND phases_json IS NOT NULL",
+                (campaign_id,),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            # A read-only view of an unmigrated store has no phases column.
+            return {"points": 0, "totals": {}}
+        totals: Dict[str, float] = {}
+        for row in rows:
+            for phase, seconds in json.loads(row["phases_json"]).items():
+                totals[phase] = totals.get(phase, 0.0) + float(seconds)
+        return {"points": len(rows), "totals": totals}
 
     def metric_names(self, campaign_id: str) -> List[str]:
         """Every metric recorded for a campaign (for input validation)."""

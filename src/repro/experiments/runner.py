@@ -63,8 +63,23 @@ from typing import (
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import metrics, trace
 
 _LOGGER = logging.getLogger(__name__)
+
+_SWEEP_CACHE_HITS = metrics.counter(
+    "repro_sweep_cache_hits_total", "Sweep disk-cache entries served"
+)
+_SWEEP_CACHE_MISSES = metrics.counter(
+    "repro_sweep_cache_misses_total", "Sweep disk-cache lookups with no entry"
+)
+_SWEEP_CACHE_CORRUPT = metrics.counter(
+    "repro_sweep_cache_corrupt_total", "Corrupt sweep cache entries discarded"
+)
+_BATCH_GROUP_FALLBACKS = metrics.counter(
+    "repro_batch_group_fallbacks_total",
+    "Batched scenario groups that fell back to per-point execution",
+)
 
 #: Bump to invalidate every cached sweep point after incompatible changes.
 #: Version 2: NumPy scalars/arrays and nested dataclasses canonicalise like
@@ -256,11 +271,14 @@ def _read_cache(cache_path: Optional[FilePath], sweep_point: SweepPoint) -> Any:
     class change) must never sink the sweep: the entry is dropped with a
     warning and the caller recomputes the point.
     """
-    if cache_path is None or not cache_path.exists():
+    if cache_path is None:
+        return _CACHE_MISS
+    if not cache_path.exists():
+        _SWEEP_CACHE_MISSES.inc()
         return _CACHE_MISS
     try:
         with open(cache_path, "rb") as handle:
-            return pickle.load(handle)
+            value = pickle.load(handle)
     except Exception as error:
         _LOGGER.warning(
             "discarding corrupt sweep cache entry %s for point %r (%s: %s); "
@@ -271,7 +289,10 @@ def _read_cache(cache_path: Optional[FilePath], sweep_point: SweepPoint) -> Any:
             error,
         )
         cache_path.unlink(missing_ok=True)
+        _SWEEP_CACHE_CORRUPT.inc()
         return _CACHE_MISS
+    _SWEEP_CACHE_HITS.inc()
+    return value
 
 
 def _write_cache(cache_path: FilePath, result: Any) -> None:
@@ -300,14 +321,21 @@ def execute_point(
     (it is the function the worker processes run), which is what guarantees
     parallel/serial result equality.
     """
-    cache_path = _cache_file(cache_dir, sweep_point) if cache_dir else None
-    cached = _read_cache(cache_path, sweep_point)
-    if cached is not _CACHE_MISS:
-        return cached
-    result = resolve_function(sweep_point.function)(**sweep_point.kwargs())
-    if cache_path is not None:
-        _write_cache(cache_path, result)
-    return result
+    with trace.span(
+        "point.execute",
+        label=sweep_point.label,
+        config_hash=sweep_point.config_hash()[:16] if trace.tracing_enabled() else "",
+    ) as point_span:
+        cache_path = _cache_file(cache_dir, sweep_point) if cache_dir else None
+        cached = _read_cache(cache_path, sweep_point)
+        if cached is not _CACHE_MISS:
+            point_span.set(cached=True)
+            return cached
+        point_span.set(cached=False)
+        result = resolve_function(sweep_point.function)(**sweep_point.kwargs())
+        if cache_path is not None:
+            _write_cache(cache_path, result)
+        return result
 
 
 @dataclass
@@ -454,6 +482,7 @@ def execute_scenario_batch(
             # Any failure inside the grouped path (one bad spec, a scheme
             # error) falls back to per-point execution below, which isolates
             # the failure to its own point.
+            _BATCH_GROUP_FALLBACKS.inc()
             results = None
         if results is not None:
             share = (time.perf_counter() - start) / len(pending)
@@ -800,6 +829,17 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
         metavar="PATH",
         help="also write the full result as JSON to PATH (for post-processing)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append an NDJSON span trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a phase-timing breakdown (build/calibrate/solve/allocate)",
+    )
     args = parser.parse_args(argv)
 
     from ..scenario import ScenarioSpec  # deferred: keeps plain sweeps import-light
@@ -850,7 +890,20 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
         if not args.cache_dir
         else ("hit" if sweep.cached_points() else "miss")
     )
-    result = sweep.run()[0]
+    if args.trace:
+        trace.configure_tracing(args.trace)
+    phase_collector = trace.PhaseCollector() if args.profile else None
+    run_start = time.perf_counter()
+    try:
+        if phase_collector is not None:
+            with trace.collect(phase_collector):
+                result = sweep.run()[0]
+        else:
+            result = sweep.run()[0]
+    finally:
+        run_elapsed = time.perf_counter() - run_start
+        if args.trace:
+            trace.disable_tracing()
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -858,6 +911,12 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
             handle.write("\n")
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if phase_collector is not None:
+            import sys
+
+            _print_phases(
+                phase_collector.phases(run_elapsed), stream=sys.stderr
+            )
         return 0
     print(f"scenario: {result.name}")
     print(f"config hash: {result.config_hash} (cache {cache_state})")
@@ -873,7 +932,23 @@ def _run_scenario_command(argv: Sequence[str]) -> int:
             f"(savings {stats['mean_savings_percent']:.1f}%), "
             f"recomputations {int(stats['recomputations'])}"
         )
+    if phase_collector is not None:
+        _print_phases(phase_collector.phases(run_elapsed))
+    if args.trace:
+        print(f"trace: {args.trace}")
     return 0
+
+
+def _print_phases(phases: Mapping[str, float], stream: Any = None) -> None:
+    """Print a ``--profile`` phase breakdown (one aligned line per phase)."""
+    total = sum(phases.values()) or 1.0
+    print("phase timings:", file=stream)
+    for name in trace.PHASE_NAMES:
+        seconds = phases.get(name, 0.0)
+        print(
+            f"  {name:<10} {seconds:8.3f}s  {100.0 * seconds / total:5.1f}%",
+            file=stream,
+        )
 
 
 def _list_components_command(argv: Sequence[str]) -> int:

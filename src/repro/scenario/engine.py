@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs import trace
 from ..power.accounting import full_power
 from ..power.model import PowerModel
 from ..routing.paths import RoutingTable
@@ -271,32 +272,33 @@ def build_scenario(
         The :class:`BuiltScenario` with every component constructed.
     """
     scenario_spec = _coerce_spec(spec).validate()
-    topo = (
-        topology
-        if topology is not None
-        else scenario_spec.topology.build()
-    )
-    model = (
-        power_model
-        if power_model is not None
-        else scenario_spec.power.build(topo)
-    )
-    built = as_built_traffic(
-        scenario_spec.traffic.build(topo), scenario_spec.traffic.name
-    )
-    routing = None
-    if scenario_spec.routing is not None:
-        routing = scenario_spec.routing.build(topo, built.pairs)
-    return BuiltScenario(
-        spec=scenario_spec,
-        topology=topo,
-        power_model=model,
-        trace=built.trace,
-        pairs=list(built.pairs),
-        baseline_power_w=full_power(topo, model).total_w,
-        routing=routing,
-        traffic=built,
-    )
+    with trace.span("scenario.build", scenario=scenario_spec.name):
+        topo = (
+            topology
+            if topology is not None
+            else scenario_spec.topology.build()
+        )
+        model = (
+            power_model
+            if power_model is not None
+            else scenario_spec.power.build(topo)
+        )
+        built = as_built_traffic(
+            scenario_spec.traffic.build(topo), scenario_spec.traffic.name
+        )
+        routing = None
+        if scenario_spec.routing is not None:
+            routing = scenario_spec.routing.build(topo, built.pairs)
+        return BuiltScenario(
+            spec=scenario_spec,
+            topology=topo,
+            power_model=model,
+            trace=built.trace,
+            pairs=list(built.pairs),
+            baseline_power_w=full_power(topo, model).total_w,
+            routing=routing,
+            traffic=built,
+        )
 
 
 def run_scenario(
@@ -340,9 +342,9 @@ def run_built_scenario(
             in-memory run, except for the wall-clock ``compute_seconds``.
     """
     spill = SeriesSpill(spill_path) if spill_path is not None else None
-    return _result_from_run(
-        built, run_timeline(built, on_interval=on_interval, spill=spill)
-    )
+    with trace.span("timeline.run", scenario=built.spec.name):
+        run = run_timeline(built, on_interval=on_interval, spill=spill)
+    return _result_from_run(built, run)
 
 
 def _result_from_run(built: BuiltScenario, run: TimelineRun) -> ScenarioResult:
@@ -425,50 +427,51 @@ def build_scenario_group(specs: Sequence[Any]) -> List[BuiltScenario]:
                     f"cannot group scenarios with differing {section!r} sections"
                 )
 
-    shared_topology = scenario_specs[0].topology.build()
-    shared_model = scenario_specs[0].power.build(shared_topology)
-    baseline_power_w = full_power(shared_topology, shared_model).total_w
-    shared_cache = GroupComputeCache()
+    with trace.span("scenario.build", group_size=len(scenario_specs)):
+        shared_topology = scenario_specs[0].topology.build()
+        shared_model = scenario_specs[0].power.build(shared_topology)
+        baseline_power_w = full_power(shared_topology, shared_model).total_w
+        shared_cache = GroupComputeCache()
 
-    traffic_cache: Dict[str, BuiltTraffic] = {}
-    routing_cache: Dict[Tuple[str, Tuple[Pair, ...]], RoutingTable] = {}
-    builts: List[BuiltScenario] = []
-    for scenario_spec in scenario_specs:
-        spec_dict = scenario_spec.to_dict()
-        traffic_key = _section_key(spec_dict.get("traffic"))
-        built_traffic = traffic_cache.get(traffic_key)
-        if built_traffic is None:
-            built_traffic = as_built_traffic(
-                scenario_spec.traffic.build(shared_topology),
-                scenario_spec.traffic.name,
-            )
-            traffic_cache[traffic_key] = built_traffic
-        routing = None
-        if scenario_spec.routing is not None:
-            routing_key = (
-                _section_key(spec_dict.get("routing")),
-                tuple(built_traffic.pairs),
-            )
-            routing = routing_cache.get(routing_key)
-            if routing is None:
-                routing = scenario_spec.routing.build(
-                    shared_topology, built_traffic.pairs
+        traffic_cache: Dict[str, BuiltTraffic] = {}
+        routing_cache: Dict[Tuple[str, Tuple[Pair, ...]], RoutingTable] = {}
+        builts: List[BuiltScenario] = []
+        for scenario_spec in scenario_specs:
+            spec_dict = scenario_spec.to_dict()
+            traffic_key = _section_key(spec_dict.get("traffic"))
+            built_traffic = traffic_cache.get(traffic_key)
+            if built_traffic is None:
+                built_traffic = as_built_traffic(
+                    scenario_spec.traffic.build(shared_topology),
+                    scenario_spec.traffic.name,
                 )
-                routing_cache[routing_key] = routing
-        builts.append(
-            BuiltScenario(
-                spec=scenario_spec,
-                topology=shared_topology,
-                power_model=shared_model,
-                trace=built_traffic.trace,
-                pairs=list(built_traffic.pairs),
-                baseline_power_w=baseline_power_w,
-                routing=routing,
-                traffic=built_traffic,
-                shared=shared_cache,
+                traffic_cache[traffic_key] = built_traffic
+            routing = None
+            if scenario_spec.routing is not None:
+                routing_key = (
+                    _section_key(spec_dict.get("routing")),
+                    tuple(built_traffic.pairs),
+                )
+                routing = routing_cache.get(routing_key)
+                if routing is None:
+                    routing = scenario_spec.routing.build(
+                        shared_topology, built_traffic.pairs
+                    )
+                    routing_cache[routing_key] = routing
+            builts.append(
+                BuiltScenario(
+                    spec=scenario_spec,
+                    topology=shared_topology,
+                    power_model=shared_model,
+                    trace=built_traffic.trace,
+                    pairs=list(built_traffic.pairs),
+                    baseline_power_w=baseline_power_w,
+                    routing=routing,
+                    traffic=built_traffic,
+                    shared=shared_cache,
+                )
             )
-        )
-    return builts
+        return builts
 
 
 def run_built_scenarios_batch(builts: Sequence[BuiltScenario]) -> List[ScenarioResult]:
@@ -486,7 +489,8 @@ def run_built_scenarios_batch(builts: Sequence[BuiltScenario]) -> List[ScenarioR
                 "the scenario names no schemes; add at least one to its"
                 " 'schemes' list"
             )
-    runs = run_timeline_batch(builts)
+    with trace.span("timeline.run", group_size=len(builts)):
+        runs = run_timeline_batch(builts)
     return [_result_from_run(built, run) for built, run in zip(builts, runs)]
 
 
@@ -498,7 +502,8 @@ def scheme_outcomes(built: BuiltScenario) -> Dict[str, SchemeOutcome]:
     The schemes run through the same timeline engine as
     :func:`run_scenario`.
     """
-    run = run_timeline(built)
+    with trace.span("timeline.run", scenario=built.spec.name):
+        run = run_timeline(built)
     return {
         label: SchemeOutcome(
             power_percent=scheme_run.power_percent(),

@@ -41,6 +41,7 @@ from ..core.failover import compute_failover
 from ..core.planner import activate_paths
 from ..core.response import ResponseConfig, build_response_plan
 from ..exceptions import ConfigurationError, TopologyError
+from ..obs import trace
 from ..optim.elastictree import elastictree_subset
 from ..optim.greedy import greedy_minimum_subset
 from ..optim.greente import greente_heuristic
@@ -234,7 +235,8 @@ class SolverReplayRuntime(SchemeRuntime):
                 effective = matrix.restricted_to(
                     view.connected_pairs(matrix.pairs())
                 )
-            solution = self.solve(state, effective, view)
+            with trace.span("scheme.solve", solver=type(self).__name__):
+                solution = self.solve(state, effective, view)
         configuration = _configuration_of(solution)
         recomputed = bool(state.configurations) and (
             configuration != state.configurations[-1]
@@ -623,13 +625,14 @@ class ResponseRuntime(SchemeRuntime):
         peak = scenario.peak_matrix() if self.use_peak_matrix else None
 
         def compute() -> Any:
-            return build_response_plan(
-                scenario.topology,
-                scenario.power_model,
-                pairs=scenario.pairs,
-                peak_matrix=peak,
-                config=self.config,
-            )
+            with trace.span("response.plan", scenario=scenario.spec.name):
+                return build_response_plan(
+                    scenario.topology,
+                    scenario.power_model,
+                    pairs=scenario.pairs,
+                    peak_matrix=peak,
+                    config=self.config,
+                )
 
         shared = _shared_cache(scenario)
         if shared is None:
@@ -673,11 +676,12 @@ class ResponseRuntime(SchemeRuntime):
         if view.has_failures and state.plan.failover is None:
             # The plan was built without failover protection: compute it on
             # the first failure (the one recomputation REsPoNse ever does).
-            state.plan.failover = compute_failover(
-                scenario.topology,
-                state.plan.tables(include_failover=False),
-                pairs=scenario.pairs,
-            )
+            with trace.span("response.failover"):
+                state.plan.failover = compute_failover(
+                    scenario.topology,
+                    state.plan.tables(include_failover=False),
+                    pairs=scenario.pairs,
+                )
             state.failover_recomputed = True
             recomputed = True
         activation = activate_paths(

@@ -43,6 +43,7 @@ from typing import (
 )
 
 from ..exceptions import ConfigurationError
+from ..obs import trace
 from ..simulator.failures import (
     FailureSchedule,
     LinkEvent,
@@ -696,11 +697,14 @@ def _step_scheme(
     threshold: float,
     outcomes: List[IntervalOutcome],
     records: List[Dict[str, Any]],
+    label: str = "",
 ) -> None:
     """Advance one scheme by one timeline step, collecting its records."""
-    started = time.perf_counter()
-    outcome = runtime.step(state, step.time_s, step.matrix, step.view)
-    outcome.compute_seconds = time.perf_counter() - started
+    with trace.span("scheme.step", scheme=label, interval=step.index) as step_span:
+        started = time.perf_counter()
+        outcome = runtime.step(state, step.time_s, step.matrix, step.view)
+        outcome.compute_seconds = time.perf_counter() - started
+        step_span.set(recomputed=outcome.recomputed)
     outcomes.append(outcome)
     for fired in step.fired:
         violation = (
@@ -816,48 +820,52 @@ def run_timeline(
                     f"scheme {scheme.label!r} does not support dynamic events; "
                     "implement it as a SchemeRuntime to use the events axis"
                 )
+            with trace.span("scheme.start", scheme=scheme.label):
+                state = runtime.start(built)
             states.append(
-                _BatchSchemeState(
-                    spec=scheme, runtime=runtime, state=runtime.start(built)
-                )
+                _BatchSchemeState(spec=scheme, runtime=runtime, state=state)
             )
         recomputed_totals = [0] * len(states)
         for step in timeline.steps:
-            for scheme_state in states:
-                _step_scheme(
-                    scheme_state.runtime,
-                    scheme_state.state,
-                    step,
-                    threshold,
-                    scheme_state.outcomes,
-                    scheme_state.records,
-                )
-            if on_interval is not None:
-                on_interval(
-                    step,
-                    {
-                        scheme_state.spec.label: scheme_state.outcomes[-1]
-                        for scheme_state in states
-                    },
-                )
-            if spill is not None:
-                spill.write_step(
-                    index=step.index,
-                    time_s=step.time_s,
-                    events=step.fired,
-                    schemes={
-                        scheme_state.spec.label: _spill_metrics(
-                            scheme_state.outcomes[-1], threshold
-                        )
-                        for scheme_state in states
-                    },
-                )
-                # Bounded resident memory: the interval is on disk now.
-                for position, scheme_state in enumerate(states):
-                    recomputed_totals[position] += int(
-                        scheme_state.outcomes[-1].recomputed
+            with trace.span(
+                "timeline.interval", interval=step.index, time_s=step.time_s
+            ):
+                for scheme_state in states:
+                    _step_scheme(
+                        scheme_state.runtime,
+                        scheme_state.state,
+                        step,
+                        threshold,
+                        scheme_state.outcomes,
+                        scheme_state.records,
+                        label=scheme_state.spec.label,
                     )
-                    scheme_state.outcomes.clear()
+                if on_interval is not None:
+                    on_interval(
+                        step,
+                        {
+                            scheme_state.spec.label: scheme_state.outcomes[-1]
+                            for scheme_state in states
+                        },
+                    )
+                if spill is not None:
+                    spill.write_step(
+                        index=step.index,
+                        time_s=step.time_s,
+                        events=step.fired,
+                        schemes={
+                            scheme_state.spec.label: _spill_metrics(
+                                scheme_state.outcomes[-1], threshold
+                            )
+                            for scheme_state in states
+                        },
+                    )
+                    # Bounded resident memory: the interval is on disk now.
+                    for position, scheme_state in enumerate(states):
+                        recomputed_totals[position] += int(
+                            scheme_state.outcomes[-1].recomputed
+                        )
+                        scheme_state.outcomes.clear()
         if spill is not None:
             spill.close()
         for position, scheme_state in enumerate(states):
@@ -898,11 +906,15 @@ def run_timeline(
                 f"scheme {scheme.label!r} does not support dynamic events; "
                 "implement it as a SchemeRuntime to use the events axis"
             )
-        state = runtime.start(built)
+        with trace.span("scheme.start", scheme=scheme.label):
+            state = runtime.start(built)
         outcomes: List[IntervalOutcome] = []
         records: List[Dict[str, Any]] = []
         for step in timeline.steps:
-            _step_scheme(runtime, state, step, threshold, outcomes, records)
+            _step_scheme(
+                runtime, state, step, threshold, outcomes, records,
+                label=scheme.label,
+            )
         runs[scheme.label] = SchemeRun(
             label=scheme.label,
             outcomes=outcomes,
@@ -966,10 +978,10 @@ def run_timeline_batch(builts: Sequence["BuiltScenario"]) -> List[TimelineRun]:
                     f"scheme {scheme.label!r} does not support dynamic events; "
                     "implement it as a SchemeRuntime to use the events axis"
                 )
+            with trace.span("scheme.start", scheme=scheme.label):
+                state = runtime.start(built)
             schemes.append(
-                _BatchSchemeState(
-                    spec=scheme, runtime=runtime, state=runtime.start(built)
-                )
+                _BatchSchemeState(spec=scheme, runtime=runtime, state=state)
             )
         entries.append(
             _BatchEntry(
@@ -984,19 +996,23 @@ def run_timeline_batch(builts: Sequence["BuiltScenario"]) -> List[TimelineRun]:
     # group; a shorter point simply stops participating early.
     max_steps = max((len(entry.timeline.steps) for entry in entries), default=0)
     for step_index in range(max_steps):
-        for entry in entries:
-            if step_index >= len(entry.timeline.steps):
-                continue
-            step = entry.timeline.steps[step_index]
-            for scheme in entry.schemes:
-                _step_scheme(
-                    scheme.runtime,
-                    scheme.state,
-                    step,
-                    entry.threshold,
-                    scheme.outcomes,
-                    scheme.records,
-                )
+        with trace.span(
+            "timeline.interval", interval=step_index, group_size=len(entries)
+        ):
+            for entry in entries:
+                if step_index >= len(entry.timeline.steps):
+                    continue
+                step = entry.timeline.steps[step_index]
+                for scheme in entry.schemes:
+                    _step_scheme(
+                        scheme.runtime,
+                        scheme.state,
+                        step,
+                        entry.threshold,
+                        scheme.outcomes,
+                        scheme.records,
+                        label=scheme.spec.label,
+                    )
 
     results: List[TimelineRun] = []
     for entry in entries:

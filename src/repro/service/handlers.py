@@ -75,6 +75,18 @@ class ServiceState:
 # --------------------------------------------------------------------- #
 # Components and scenarios
 # --------------------------------------------------------------------- #
+def metrics_payload() -> Dict[str, Any]:
+    """``GET /metrics?format=json`` — the registry snapshot, JSON-ready.
+
+    The Prometheus text rendering lives in the HTTP layer (it is a
+    content-type concern); this payload carries the same samples for
+    JSON consumers and tests.
+    """
+    from ..obs import metrics as _metrics  # deferred: keeps import cheap
+
+    return {"metrics": _metrics.registry().snapshot()}
+
+
 def components_payload() -> Dict[str, Any]:
     """``GET /components`` — the registry listing, one key per kind.
 
@@ -331,6 +343,7 @@ __all__ = [
     "campaign_status_payload",
     "components_payload",
     "list_campaigns_payload",
+    "metrics_payload",
     "replay_stream",
     "run_scenario_payload",
     "submit_campaign_payload",

@@ -31,17 +31,26 @@ from __future__ import annotations
 import json
 import logging
 import socket
+import time
 import traceback
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import metrics
 from . import handlers
 from .handlers import ServiceState
 from .schemas import ServiceError, bad_request, not_found, parse_json_body
 
 _LOGGER = logging.getLogger(__name__)
+
+_REQUESTS = metrics.counter(
+    "repro_service_requests_total", "Service requests handled, by route"
+)
+_REQUEST_SECONDS = metrics.histogram(
+    "repro_service_request_seconds", "Service request handling latency"
+)
 
 #: Upper bound on request bodies (a campaign spec is a few KiB; 8 MiB
 #: leaves room for giant inline grids while bounding memory per request).
@@ -83,8 +92,24 @@ _INDEX = {
         "GET /campaigns/{id}/report": (
             "aggregation (?metric=&group_by=&filter=KEY%3DVALUE)"
         ),
+        "GET /metrics": (
+            "process metrics, Prometheus text format (?format=json for JSON)"
+        ),
     },
 }
+
+
+def _route_class(route: str) -> str:
+    """Collapse a concrete path to its route template for metric labels.
+
+    ``/campaigns/3f2a.../status`` → ``/campaigns/{id}/status`` — label
+    cardinality stays bounded by the endpoint table, never by stored data.
+    """
+    parts = route.split("/")
+    if len(parts) >= 3 and parts[1] == "campaigns" and parts[2]:
+        parts[2] = "{id}"
+        return "/".join(parts)
+    return route
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -118,6 +143,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _send_error_payload(self, error: ServiceError) -> None:
         self._send_json(error.status, error.payload())
 
@@ -133,13 +168,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def _dispatch(self, method: str) -> None:
         state = self.server.state
+        route_label = _route_class(self.route)
+        started = time.perf_counter()
+        outcome = "ok"
         try:
             handled = self._route(method, state)
         except ServiceError as error:
+            outcome = "error"
             self._send_error_payload(error)
         except BrokenPipeError:
-            pass  # client went away mid-response; nothing to answer
+            outcome = "disconnect"  # client went away; nothing to answer
         except Exception:
+            outcome = "error"
             _LOGGER.error(
                 "unhandled error on %s %s\n%s",
                 method,
@@ -151,9 +191,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         else:
             if not handled:
+                outcome = "not-found"
                 self._send_error_payload(
                     not_found(f"no such endpoint: {method} {self.route}")
                 )
+        _REQUESTS.labels(
+            method=method, route=route_label, outcome=outcome
+        ).inc()
+        _REQUEST_SECONDS.labels(route=route_label).observe(
+            time.perf_counter() - started
+        )
 
     def _route(self, method: str, state: ServiceState) -> bool:
         route = self.route
@@ -167,6 +214,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return True
         if route == "/components" and method == "GET":
             self._send_json(200, handlers.components_payload())
+            return True
+        if route == "/metrics" and method == "GET":
+            wants_json = self._query().get("format", [""])[-1] == "json"
+            if wants_json:
+                self._send_json(200, handlers.metrics_payload())
+            else:
+                self._send_text(
+                    200,
+                    metrics.registry().render_prometheus(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             return True
         if route == "/scenarios" and method == "POST":
             body = parse_json_body(self._read_body())

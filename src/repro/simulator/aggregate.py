@@ -24,8 +24,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs import trace
 from ..routing.paths import Path
-from .fairness import build_incidence, grouped_max_min_fair_rates
+from .fairness import build_incidence, grouped_max_min_fair_rates, last_kernel_stats
 from .flows import Flow
 from .network import SimulatedNetwork
 
@@ -177,13 +178,21 @@ def allocate_aggregated(
         return rates
 
     flat_group, flat_arc = build_incidence(kept_compiled)
-    allocation = grouped_max_min_fair_rates(
-        demands[flow_ok],
-        remap[table.flow_group[flow_ok]],
-        flat_group,
-        flat_arc,
-        network.alloc_capacity,
-        num_groups=len(kept),
-    )
+    with trace.span(
+        "fairness.kernel",
+        kernel="grouped",
+        flows=int(flow_ok.sum()),
+        groups=len(kept),
+    ) as kernel_span:
+        allocation = grouped_max_min_fair_rates(
+            demands[flow_ok],
+            remap[table.flow_group[flow_ok]],
+            flat_group,
+            flat_arc,
+            network.alloc_capacity,
+            num_groups=len(kept),
+        )
+        if trace.tracing_enabled():
+            kernel_span.set(**last_kernel_stats())
     rates[flow_ok] = allocation
     return rates

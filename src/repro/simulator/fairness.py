@@ -18,9 +18,12 @@ thresholds and termination conditions.
 from __future__ import annotations
 
 import os
-from typing import Optional
+import threading
+from typing import Dict, List, Optional
 
 import numpy as np
+
+from ..obs import trace as _trace
 
 try:  # scipy is a baked-in dependency (the MCF oracle uses it) but the
     # simulator must still import without it — the dense kernels never
@@ -48,6 +51,30 @@ KERNEL_ENV_VAR = "REPRO_FAIRNESS_KERNEL"
 
 _KERNEL_CHOICES = ("auto", "dense", "sparse")
 _kernel_override: Optional[str] = None
+
+#: Per-thread record of the most recent kernel invocation, read by the
+#: ``fairness.kernel`` span in :mod:`repro.simulator.network`.  The
+#: iteration count is always maintained (one integer add per filling
+#: iteration); the frozen-per-iteration breakdown is gathered only while
+#: tracing is enabled.
+_kernel_stats = threading.local()
+
+
+def _record_kernel_stats(iterations: int, frozen: Optional[List[int]]) -> None:
+    _kernel_stats.iterations = iterations
+    _kernel_stats.frozen = frozen
+
+
+def last_kernel_stats() -> Dict[str, object]:
+    """Iterations (and, when traced, frozen flows per iteration) of the
+    last progressive-filling run on this thread."""
+    stats: Dict[str, object] = {
+        "iterations": int(getattr(_kernel_stats, "iterations", 0))
+    }
+    frozen = getattr(_kernel_stats, "frozen", None)
+    if frozen is not None:
+        stats["frozen_per_iteration"] = list(frozen)
+    return stats
 
 
 def set_fairness_kernel(kernel: Optional[str]) -> Optional[str]:
@@ -126,11 +153,14 @@ def max_min_fair_rates(
         crossed_at_all = np.zeros(num_arcs, dtype=bool)
     active = np.ones(num_flows, dtype=bool)
 
+    iterations = 0
+    frozen_trace: Optional[List[int]] = [] if _trace.tracing_enabled() else None
     # Each iteration freezes at least one flow or exhausts at least one arc,
     # so the filling terminates within flows + used-arcs iterations.
     for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
         if not active.any():
             break
+        iterations += 1
         if flat_arc.size:
             counts = np.bincount(
                 flat_arc[active[flat_flow]], minlength=num_arcs
@@ -158,11 +188,15 @@ def max_min_fair_rates(
             exhausted = crossed_at_all & (capacity <= CAPACITY_EPSILON)
             if exhausted.any():
                 active[flat_flow[exhausted[flat_arc]]] = False
+        active_after = int(active.sum())
+        if frozen_trace is not None:
+            frozen_trace.append(active_before - active_after)
         # A zero step is fine as long as it froze somebody (e.g. a flow
         # whose demand is currently zero) — the filling continues for the
         # rest.  Only a zero step that freezes nobody means no progress.
-        if step <= STEP_EPSILON and int(active.sum()) == active_before:
+        if step <= STEP_EPSILON and active_after == active_before:
             break
+    _record_kernel_stats(iterations, frozen_trace)
     return allocation
 
 
@@ -257,12 +291,15 @@ def batch_max_min_fair_rates(
     #: changes again while the rest of the batch continues.
     alive = np.ones(batch, dtype=bool)
 
+    iterations = 0
+    frozen_trace: Optional[List[int]] = [] if _trace.tracing_enabled() else None
     # The serial iteration bound depends only on the shared incidence, so
     # one shared bound covers every batch element.
     for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
         alive &= active.any(axis=1)
         if not alive.any():
             break
+        iterations += 1
         if flat_arc.size:
             # Integer share counts: addition order cannot affect the value.
             counts_int = np.zeros((batch, num_arcs), dtype=np.int64)
@@ -308,10 +345,14 @@ def batch_max_min_fair_rates(
                 deactivate = np.zeros((batch, num_flows), dtype=bool)
                 np.logical_or.at(deactivate, (slice(None), flat_flow), kill)
                 active &= ~deactivate
+        active_after = active.sum(axis=1)
+        if frozen_trace is not None:
+            frozen_trace.append(int(active_before.sum() - active_after.sum()))
         # Same zero-step rule as the serial loop: a zero step that froze
         # nobody means the element makes no further progress.
-        no_progress = (step <= STEP_EPSILON) & (active.sum(axis=1) == active_before)
+        no_progress = (step <= STEP_EPSILON) & (active_after == active_before)
         alive &= ~no_progress
+    _record_kernel_stats(iterations, frozen_trace)
     return allocation
 
 
@@ -419,9 +460,12 @@ def max_min_fair_rates_sparse(
     crossed_at_all = incidence.crossed_at_all
     active = np.ones(num_flows, dtype=bool)
 
+    iterations = 0
+    frozen_trace: Optional[List[int]] = [] if _trace.tracing_enabled() else None
     for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
         if not active.any():
             break
+        iterations += 1
         counts = incidence.arc_counts(active)
         crossed = counts > 0
         share_limited = (
@@ -442,8 +486,12 @@ def max_min_fair_rates_sparse(
         exhausted = crossed_at_all & (capacity <= CAPACITY_EPSILON)
         if exhausted.any():
             active &= ~incidence.flows_touching(exhausted)
-        if step <= STEP_EPSILON and int(active.sum()) == active_before:
+        active_after = int(active.sum())
+        if frozen_trace is not None:
+            frozen_trace.append(active_before - active_after)
+        if step <= STEP_EPSILON and active_after == active_before:
             break
+    _record_kernel_stats(iterations, frozen_trace)
     return allocation
 
 
@@ -499,10 +547,13 @@ def batch_max_min_fair_rates_sparse(
     active = np.ones((batch, num_flows), dtype=bool)
     alive = np.ones(batch, dtype=bool)
 
+    iterations = 0
+    frozen_trace: Optional[List[int]] = [] if _trace.tracing_enabled() else None
     for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
         alive &= active.any(axis=1)
         if not alive.any():
             break
+        iterations += 1
         counts = incidence.batch_arc_counts(active)
         crossed = counts > 0
         if num_arcs:
@@ -533,8 +584,12 @@ def batch_max_min_fair_rates_sparse(
         if exhausted.any():
             kill = incidence.batch_flows_touching(exhausted) & alive[:, None]
             active &= ~kill
-        no_progress = (step <= STEP_EPSILON) & (active.sum(axis=1) == active_before)
+        active_after = active.sum(axis=1)
+        if frozen_trace is not None:
+            frozen_trace.append(int(active_before.sum() - active_after.sum()))
+        no_progress = (step <= STEP_EPSILON) & (active_after == active_before)
         alive &= ~no_progress
+    _record_kernel_stats(iterations, frozen_trace)
     return allocation
 
 
@@ -594,9 +649,12 @@ def grouped_max_min_fair_rates(
         crossed_at_all = np.zeros(num_arcs, dtype=bool)
     active = np.ones(num_flows, dtype=bool)
 
+    iterations = 0
+    frozen_trace: Optional[List[int]] = [] if _trace.tracing_enabled() else None
     for _ in range(num_flows + int(crossed_at_all.sum()) + 1):
         if not active.any():
             break
+        iterations += 1
         active_members = np.bincount(
             flow_group[active], minlength=num_groups
         ).astype(float)
@@ -630,8 +688,12 @@ def grouped_max_min_fair_rates(
                 dead_group = np.zeros(num_groups, dtype=bool)
                 dead_group[flat_group[exhausted[flat_arc]]] = True
                 active &= ~dead_group[flow_group]
-        if step <= STEP_EPSILON and int(active.sum()) == active_before:
+        active_after = int(active.sum())
+        if frozen_trace is not None:
+            frozen_trace.append(active_before - active_after)
+        if step <= STEP_EPSILON and active_after == active_before:
             break
+    _record_kernel_stats(iterations, frozen_trace)
     return allocation
 
 

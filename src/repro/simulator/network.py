@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs import metrics, trace
 from ..power.accounting import full_power, network_power
 from ..power.model import PowerModel
 from ..routing.paths import Path
@@ -26,6 +27,7 @@ from .fairness import (
     batch_max_min_fair_rates,
     batch_max_min_fair_rates_sparse,
     build_incidence,
+    last_kernel_stats,
     max_min_fair_rates,
     max_min_fair_rates_sparse,
     select_kernel,
@@ -35,6 +37,15 @@ from .links import LinkState, SimulatedLink
 
 #: Default wake-up delay (the ns-2 experiments' conservative 5 s bound).
 DEFAULT_WAKE_DELAY_S = 5.0
+
+#: Single-entry compiled flow-set cache churn, registry-wide (one counter
+#: pair shared by every SimulatedNetwork in the process).
+_FLOWSET_HITS = metrics.counter(
+    "repro_flowset_cache_hits_total", "Compiled flow-set cache hits"
+)
+_FLOWSET_MISSES = metrics.counter(
+    "repro_flowset_cache_misses_total", "Compiled flow-set cache rebuilds"
+)
 
 
 @dataclass
@@ -243,18 +254,27 @@ class SimulatedNetwork:
             [offered_load_vector(routable, time) for time in times]
         )
         kernel = select_kernel(len(routable), self._arc_table.num_arcs)
-        if kernel == "sparse":
-            allocation = batch_max_min_fair_rates_sparse(
-                demands,
-                entry.flat_flow,
-                entry.flat_arc,
-                self._alloc_capacity,
-                incidence=entry.sparse(self._arc_table),
-            )
-        else:
-            allocation = batch_max_min_fair_rates(
-                demands, entry.flat_flow, entry.flat_arc, self._alloc_capacity
-            )
+        with trace.span(
+            "fairness.kernel",
+            kernel=kernel,
+            flows=len(routable),
+            arcs=self._arc_table.num_arcs,
+            batch=len(times),
+        ) as kernel_span:
+            if kernel == "sparse":
+                allocation = batch_max_min_fair_rates_sparse(
+                    demands,
+                    entry.flat_flow,
+                    entry.flat_arc,
+                    self._alloc_capacity,
+                    incidence=entry.sparse(self._arc_table),
+                )
+            else:
+                allocation = batch_max_min_fair_rates(
+                    demands, entry.flat_flow, entry.flat_arc, self._alloc_capacity
+                )
+            if trace.tracing_enabled():
+                kernel_span.set(**last_kernel_stats())
         rates[:, entry.routable_indices] = allocation
         return rates
 
@@ -273,7 +293,9 @@ class SimulatedNetwork:
             and cached.state_bytes == state_bytes
             and cached.paths_key == paths_key
         ):
+            _FLOWSET_HITS.inc()
             return cached
+        _FLOWSET_MISSES.inc()
 
         usable = self.link_usable_vector()
         routable_indices: List[int] = []
@@ -303,17 +325,27 @@ class SimulatedNetwork:
     ) -> np.ndarray:
         """Dispatch one demand vector to the selected fairness kernel."""
         kernel = select_kernel(len(entry.routable_indices), self._arc_table.num_arcs)
-        if kernel == "sparse":
-            return max_min_fair_rates_sparse(
-                demands,
-                entry.flat_flow,
-                entry.flat_arc,
-                self._alloc_capacity,
-                incidence=entry.sparse(self._arc_table),
-            )
-        return max_min_fair_rates(
-            demands, entry.flat_flow, entry.flat_arc, self._alloc_capacity
-        )
+        with trace.span(
+            "fairness.kernel",
+            kernel=kernel,
+            flows=len(entry.routable_indices),
+            arcs=self._arc_table.num_arcs,
+        ) as kernel_span:
+            if kernel == "sparse":
+                allocation = max_min_fair_rates_sparse(
+                    demands,
+                    entry.flat_flow,
+                    entry.flat_arc,
+                    self._alloc_capacity,
+                    incidence=entry.sparse(self._arc_table),
+                )
+            else:
+                allocation = max_min_fair_rates(
+                    demands, entry.flat_flow, entry.flat_arc, self._alloc_capacity
+                )
+            if trace.tracing_enabled():
+                kernel_span.set(**last_kernel_stats())
+        return allocation
 
     # ------------------------------------------------------------------ #
     # Array-indexed views (the vectorized engine's fast path)

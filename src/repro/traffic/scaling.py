@@ -20,6 +20,7 @@ import json
 from typing import Callable, Dict, List, Optional
 
 from ..exceptions import TrafficError
+from ..obs import metrics, trace
 from ..topology.base import Topology
 from .matrix import TrafficMatrix
 
@@ -40,7 +41,16 @@ def _default_oracle(topology: Topology, demands: TrafficMatrix) -> bool:
 #: recomputing it.  Only default-oracle calls are memoised — a custom
 #: oracle is not part of the key and must never be served a cached value.
 _CALIBRATION_CACHE: Dict[str, float] = {}
-_CALIBRATION_STATS = {"hits": 0, "misses": 0}
+
+#: Hit/miss counters live on the process-wide metrics registry; the
+#: :func:`calibration_cache_stats` / :func:`clear_calibration_cache`
+#: functions below stay as thin compatibility wrappers over them.
+_CALIBRATION_HITS = metrics.counter(
+    "repro_calibration_cache_hits_total", "Calibration memo hits"
+)
+_CALIBRATION_MISSES = metrics.counter(
+    "repro_calibration_cache_misses_total", "Calibration memo misses"
+)
 
 
 def _calibration_key(
@@ -85,13 +95,16 @@ def _calibration_key(
 def clear_calibration_cache() -> None:
     """Drop all memoised calibrations (tests and long-lived services)."""
     _CALIBRATION_CACHE.clear()
-    _CALIBRATION_STATS["hits"] = 0
-    _CALIBRATION_STATS["misses"] = 0
+    _CALIBRATION_HITS.reset()
+    _CALIBRATION_MISSES.reset()
 
 
 def calibration_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters of the calibration memo (a copy)."""
-    return dict(_CALIBRATION_STATS)
+    """Hit/miss counters of the calibration memo (a registry snapshot)."""
+    return {
+        "hits": int(_CALIBRATION_HITS.value),
+        "misses": int(_CALIBRATION_MISSES.value),
+    }
 
 
 def calibrate_max_load(
@@ -136,20 +149,24 @@ def calibrate_max_load(
         )
         cached = _CALIBRATION_CACHE.get(key)
         if cached is not None:
-            _CALIBRATION_STATS["hits"] += 1
+            _CALIBRATION_HITS.inc()
             return cached
-        _CALIBRATION_STATS["misses"] += 1
+        _CALIBRATION_MISSES.inc()
 
-    scale = float(initial_scale)
-    if not check(topology, base_matrix.scaled(scale)):
-        raise TrafficError(
-            "the initial demand is already infeasible; lower initial_scale"
-        )
-    for _ in range(max_iterations):
-        candidate = scale * (1.0 + growth_step)
-        if not check(topology, base_matrix.scaled(candidate)):
-            break
-        scale = candidate
+    with trace.span("traffic.calibrate", memoised=oracle is None) as calibrate_span:
+        scale = float(initial_scale)
+        if not check(topology, base_matrix.scaled(scale)):
+            raise TrafficError(
+                "the initial demand is already infeasible; lower initial_scale"
+            )
+        growth_iterations = 0
+        for _ in range(max_iterations):
+            candidate = scale * (1.0 + growth_step)
+            if not check(topology, base_matrix.scaled(candidate)):
+                break
+            scale = candidate
+            growth_iterations += 1
+        calibrate_span.set(growth_iterations=growth_iterations, scale=scale)
     if key is not None:
         _CALIBRATION_CACHE[key] = scale
     return scale

@@ -545,3 +545,41 @@ def test_cli_events_set_rejects_bad_index(capsys):
             ]
         )
     assert "out of range" in capsys.readouterr().err
+
+
+def test_traced_timeline_is_bit_identical_and_covers_every_interval(tmp_path):
+    """Tracing observes the timeline without perturbing it.
+
+    The observability layer promises that enabling span capture changes no
+    computed value — only sidecar NDJSON appears — and that the sidecar
+    covers the run: one ``scheme.step`` per (scheme, interval) plus the
+    failure reaction spans.
+    """
+    from repro.campaign.store import canonical_result_dict
+    from repro.obs import trace
+
+    spec = geant_failure_spec()
+    plain = run_scenario(spec)
+    trace_path = tmp_path / "timeline.ndjson"
+    trace.configure_tracing(trace_path)
+    try:
+        traced = run_scenario(spec)
+    finally:
+        trace.disable_tracing()
+    assert canonical_result_dict(traced.to_dict()) == canonical_result_dict(
+        plain.to_dict()
+    )
+    records = list(trace.iter_trace(trace_path))
+    steps = [r for r in records if r["name"] == "scheme.step"]
+    intervals = len(plain.times_s)
+    per_scheme = {}
+    for step in steps:
+        per_scheme.setdefault(step["attrs"]["scheme"], []).append(
+            step["attrs"]["interval"]
+        )
+    assert set(per_scheme) == {"response", "greente"}
+    for scheme, seen in per_scheme.items():
+        assert sorted(seen) == list(range(intervals)), scheme
+    # The offline plan build was captured (failover is precomputed in it,
+    # so no response.failover span fires — the plan span covers the solve).
+    assert any(r["name"] == "response.plan" for r in records)
