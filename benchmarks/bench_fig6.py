@@ -6,7 +6,8 @@ from repro.experiments import FIG6_VARIANTS, run_fig6
 def test_fig6_genuity_utilisation_sweep(benchmark, run_once, sweep_kwargs):
     result = run_once(run_fig6, **sweep_kwargs)
     for variant in FIG6_VARIANTS:
-        for level, power in zip(result.utilisation_levels, result.power_percent[variant]):
+        levels = result.utilisation_levels
+        for level, power in zip(levels, result.power_percent[variant], strict=True):
             benchmark.extra_info[f"{variant}_util{int(level)}_power_%"] = round(power, 1)
     # Paper: ~30% savings at low utilisation, savings shrink as load grows,
     # and every variant remains energy-proportional.

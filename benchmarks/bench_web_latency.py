@@ -5,7 +5,9 @@ from repro.experiments import run_web_latency
 
 def test_web_latency_over_response_paths(benchmark, run_once):
     result = run_once(run_web_latency)
-    benchmark.extra_info["response_mean_latency_ms"] = round(result.response.mean_latency_s * 1e3, 2)
+    benchmark.extra_info["response_mean_latency_ms"] = round(
+        result.response.mean_latency_s * 1e3, 2
+    )
     benchmark.extra_info["invcap_mean_latency_ms"] = round(result.invcap.mean_latency_s * 1e3, 2)
     benchmark.extra_info["latency_increase_%"] = round(result.latency_increase_percent, 1)
     # Paper: the web retrieval latency increases by only ~9% when switching

@@ -99,7 +99,7 @@ def summarise(
         groups.setdefault(_group_key(row, group_by), []).append(float(row[metric]))
     records = []
     for key, values in groups.items():
-        record: Dict[str, Any] = dict(zip(group_by, key))
+        record: Dict[str, Any] = dict(zip(group_by, key, strict=True))
         record["metric"] = metric
         record["count"] = len(values)
         record.update(percentile_summary(values))
@@ -207,12 +207,13 @@ def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
         for column in row:
             if column not in columns:
                 columns.append(column)
-    table = [columns] + [
-        [_format_cell(row.get(column, "")) for column in columns] for row in rows
+    table = [
+        columns,
+        *([_format_cell(row.get(column, "")) for column in columns] for row in rows),
     ]
     widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
     lines = [
-        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths, strict=True)).rstrip()
         for line in table
     ]
     lines.insert(1, "  ".join("-" * width for width in widths))

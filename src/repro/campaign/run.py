@@ -284,7 +284,7 @@ def _drain_as_worker(
                             group_points, sweep_cache_dir
                         )
                         phases = None
-                    for index, outcome in zip(group, outcomes):
+                    for index, outcome in zip(group, outcomes, strict=True):
                         records.append(
                             _outcome_record(points[index], outcome, phases=phases)
                         )
@@ -410,7 +410,7 @@ def run_campaign(
         raise ConfigurationError(f"lease_seconds must be > 0, got {lease_seconds}")
     campaign = _coerce_campaign(spec)
     points = campaign.expand()
-    with CampaignStore(store_path) as store:
+    with CampaignStore(store_path, read_only=False) as store:
         campaign_id = store.register_campaign(campaign, points)
         adopted = store.adopt_existing_results(campaign_id)
         if worker_id is not None and reset_errors:
@@ -489,7 +489,7 @@ def run_campaign(
                     phases = None
                 records = [
                     _outcome_record(pending[index], outcome, phases=phases)
-                    for index, outcome in zip(group, outcomes)
+                    for index, outcome in zip(group, outcomes, strict=True)
                 ]
                 for record in records:
                     _tally(summary, record)
@@ -633,7 +633,7 @@ def run_campaign_workers(
     # Error points are also reset exactly once, here, so the retry of
     # previous invocations' failures cannot race a late-starting worker
     # against a fast peer's fresh failure.
-    with CampaignStore(store_path) as store:
+    with CampaignStore(store_path, read_only=False) as store:
         campaign_id = store.register_campaign(campaign, points)
         adopted = store.adopt_existing_results(campaign_id)
         store.reset_error_points(campaign_id)
@@ -691,7 +691,9 @@ def run_campaign_workers(
         workers=workers,
         errors=[error for entry in worker_summaries for error in entry["errors"]],
     )
-    with CampaignStore(store_path) as store:
+    # A pure read: the fleet has exited, so a read-only WAL connection is
+    # enough (and can never stall a late writer).
+    with CampaignStore(store_path, read_only=True) as store:
         final = store.status_counts(campaign_id)
     summary.remaining = final["total"] - final["done"]
     return summary

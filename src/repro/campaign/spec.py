@@ -286,7 +286,7 @@ class CampaignSpec:
             data = copy.deepcopy(self.base)
             coordinates: Dict[str, Any] = {}
             try:
-                for axis, value in zip(names, combo):
+                for axis, value in zip(names, combo, strict=True):
                     coordinates[axis] = self._apply(data, axis, value)
                 point_name = self.name + "".join(
                     f"/{axis}={_compact(coordinates[axis])}" for axis in names

@@ -60,7 +60,7 @@ def rank_paths_by_traffic(
     used: Dict[Pair, Dict[Tuple[str, ...], int]] = {}
     path_objects: Dict[Tuple[str, ...], Path] = {}
 
-    for interval, routing in zip(trace, routings):
+    for interval, routing in zip(trace, routings, strict=True):
         for pair, demand in interval.matrix.items():
             path = routing.get(*pair)
             if path is None:

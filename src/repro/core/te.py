@@ -103,7 +103,9 @@ class ResponseTEController:
         self.plan = plan
         self.config = config or TEConfig()
         self._tables = plan.tables(include_failover=True)
-        self._num_load_tables = len(plan.tables(include_failover=self.config.allow_failover_for_load))
+        self._num_load_tables = len(
+            plan.tables(include_failover=self.config.allow_failover_for_load)
+        )
         self._assignment: Dict[str, int] = {}
         self._pending: Dict[str, Tuple[int, Path]] = {}
         self._failure_noticed_at: Dict[str, float] = {}

@@ -42,7 +42,11 @@ class Fig1bResult:
 
     def rows(self) -> List[tuple]:
         """Plotted rows: (hour start [s], recomputations in that hour)."""
-        return list(zip(self.series.hour_start_s, self.series.recomputations_per_hour))
+        return list(zip(
+            self.series.hour_start_s,
+            self.series.recomputations_per_hour,
+            strict=True,
+        ))
 
 
 def geant_replay_spec(

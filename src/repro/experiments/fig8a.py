@@ -51,7 +51,13 @@ class Fig8Result:
     def rows(self) -> List[tuple]:
         """Plotted rows: (time, demand, sending rate, power %)."""
         return list(
-            zip(self.times_s, self.demand_bps, self.sending_rate_bps, self.power_percent)
+            zip(
+                self.times_s,
+                self.demand_bps,
+                self.sending_rate_bps,
+                self.power_percent,
+                strict=True,
+            )
         )
 
 
@@ -73,7 +79,7 @@ def _measure_wake_stall(
     """Longest contiguous period with rate more than 5 % below demand."""
     longest = 0.0
     current_start: Optional[float] = None
-    for time, offered, achieved in zip(times, demand, rate):
+    for time, offered, achieved in zip(times, demand, rate, strict=True):
         lagging = offered > 0 and achieved < 0.95 * offered
         if lagging and current_start is None:
             current_start = time

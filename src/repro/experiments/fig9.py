@@ -170,7 +170,7 @@ def run_fig9(
 
     scenarios: Dict[str, StreamingResult] = {}
     latency_increase: Dict[int, float] = {}
-    for count, (response_result, invcap_result) in zip(client_counts, results):
+    for count, (response_result, invcap_result) in zip(client_counts, results, strict=True):
         scenarios[f"REP-lat{count}"] = response_result
         scenarios[f"InvCap{count}"] = invcap_result
         if invcap_result.mean_block_latency_s > 0:

@@ -252,7 +252,7 @@ def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
     """
     names = list(axes)
     values = [list(axes[name]) for name in names]
-    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+    return [dict(zip(names, combo, strict=True)) for combo in itertools.product(*values)]
 
 
 def _cache_file(cache_dir: Union[str, os.PathLike], sweep_point: SweepPoint) -> FilePath:
@@ -634,7 +634,7 @@ class Sweep:
         labels = [sweep_point.label for sweep_point in self.points]
         if len(set(labels)) != len(labels):
             raise ConfigurationError(f"sweep labels are not unique: {labels}")
-        return dict(zip(labels, self.run(parallel=parallel)))
+        return dict(zip(labels, self.run(parallel=parallel), strict=True))
 
     def cached_points(self) -> List[SweepPoint]:
         """The points whose results are already on disk."""

@@ -59,7 +59,7 @@ class StressAblationResult:
 
     def rows(self) -> List[tuple]:
         """Report rows: (exclusion fraction, absorbable multiple of the peak)."""
-        return list(zip(self.fractions, self.absorbable_load_fraction))
+        return list(zip(self.fractions, self.absorbable_load_fraction, strict=True))
 
     def absorbs_peak(self, fraction: float) -> bool:
         """Whether the plan built with this exclusion fraction absorbs the peak."""

@@ -63,8 +63,9 @@ def run_web_latency(
     stubs = sorted(nodes, key=topology.degree)[: num_clients + 1]
     server, clients = stubs[0], stubs[1:]
 
-    pairs = [(server, client) for client in clients] + [
-        (client, server) for client in clients
+    pairs = [
+        *((server, client) for client in clients),
+        *((client, server) for client in clients),
     ]
     plan = build_response_plan(
         topology,

@@ -1,0 +1,91 @@
+"""Baseline files: grandfathered findings that do not fail the run.
+
+A baseline lets the linter land as a hard CI gate on day one without
+blocking on a full cleanup: existing findings are fingerprinted into a
+committed JSON file and stop failing the build, while anything *new*
+still does.  The fingerprint is ``path::rule::stripped-source-line`` —
+stable across unrelated edits (line numbers shift freely) but invalidated
+the moment the offending line itself changes, so grandfathered code
+cannot quietly grow new violations on the same line.
+
+Policy (enforced by ``tests/test_lintkit.py``): the baseline must stay
+**empty for ``simulator/`` and ``scenario/``** — determinism findings in
+the engine are fixed or explicitly ``# repro: allow``-ed with a reason,
+never grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+from .engine import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule}::{finding.snippet}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into ``{fingerprint: allowed_count}``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path} is not a reprolint baseline (no 'entries' key)")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}, this code expects "
+            f"{BASELINE_VERSION}"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path} entries must be an object")
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> Dict[str, int]:
+    """Fingerprint the *active* findings into a fresh baseline at *path*."""
+    counts = Counter(
+        fingerprint(finding) for finding in findings if not finding.suppressed
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered reprolint findings. Shrink only; regenerate "
+            "with `python -m repro.lintkit --write-baseline` after a "
+            "cleanup. Keep empty for simulator/ and scenario/."
+        ),
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return dict(counts)
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Mark up to ``count`` matching findings per fingerprint as baselined.
+
+    Suppressed findings never consume baseline budget — an allow comment
+    already accounts for them.
+    """
+    remaining = dict(baseline)
+    marked: List[Finding] = []
+    for finding in findings:
+        if not finding.suppressed:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                finding = replace(finding, baselined=True)
+        marked.append(finding)
+    return marked

@@ -1,0 +1,176 @@
+"""``python -m repro.lintkit`` — the reprolint command line.
+
+Exit codes:
+
+* ``0`` — no active findings (everything clean, suppressed or baselined),
+* ``1`` — at least one active finding,
+* ``2`` — usage error (unknown rule id, unreadable baseline).
+
+``--format json`` (optionally with ``--output``) emits the machine
+report CI uploads as an artifact; the default text format is one
+``path:line:col: RULE message`` line per finding, grouped run summary at
+the end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import LintResult, lint_paths
+from .rules import ALL_RULES, rules_by_id
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lintkit",
+        description=(
+            "reprolint: AST rules enforcing this repo's determinism, "
+            "store-discipline and observability contracts at the source "
+            "level (catalogue: docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list suppressed/baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _text_report(result: LintResult, show_suppressed: bool) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        if finding.active:
+            lines.append(
+                f"{finding.location()}: {finding.rule} {finding.message}"
+            )
+        elif show_suppressed:
+            tag = "suppressed" if finding.suppressed else "baselined"
+            lines.append(
+                f"{finding.location()}: {finding.rule} [{tag}] {finding.message}"
+            )
+    active = len(result.active)
+    summary = (
+        f"{result.files_checked} files checked: {active} finding"
+        f"{'' if active == 1 else 's'}"
+        f" ({len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = list(ALL_RULES)
+    if args.select:
+        catalogue = rules_by_id()
+        selected = [rule_id.strip() for rule_id in args.select.split(",")]
+        unknown = [rule_id for rule_id in selected if rule_id not in catalogue]
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [catalogue[rule_id] for rule_id in selected]
+
+    result = lint_paths(args.paths, rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        entries = write_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {baseline_path} with {sum(entries.values())} "
+            f"grandfathered finding(s)"
+        )
+        return 0
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline: {error}", file=sys.stderr)
+            return 2
+        result.findings = apply_baseline(result.findings, baseline)
+
+    if args.format == "json":
+        report = json.dumps(result.to_dict(), indent=2) + "\n"
+    else:
+        report = _text_report(result, args.show_suppressed) + "\n"
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+    return 1 if result.active else 0

@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 import re
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "MetricsRegistry",
@@ -164,7 +164,7 @@ class _Histogram:
         with self._lock:
             cumulative: Dict[str, int] = {}
             running = 0
-            for bound, count in zip(self.buckets, self._counts):
+            for bound, count in zip(self.buckets, self._counts, strict=False):
                 running += count
                 cumulative[format_float(bound)] = running
             cumulative["+Inf"] = running + self._counts[-1]
@@ -208,14 +208,14 @@ class MetricFamily:
         self._lock = threading.Lock()
         self._children: Dict[_LabelKey, Any] = {}
 
-    def _make_child(self):
+    def _make_child(self) -> Union[_Counter, _Gauge, _Histogram]:
         if self.kind == "counter":
             return _Counter()
         if self.kind == "gauge":
             return _Gauge()
         return _Histogram(self.buckets)
 
-    def labels(self, **labels: Any):
+    def labels(self, **labels: Any) -> Any:
         for key in labels:
             if not _LABEL_RE.match(key):
                 raise ValueError(f"invalid label name {key!r}")
@@ -252,9 +252,9 @@ class MetricFamily:
     def samples(self) -> List[Dict[str, Any]]:
         with self._lock:
             items = sorted(self._children.items())
-        rendered = []
+        rendered: List[Dict[str, Any]] = []
         for key, child in items:
-            entry = {"labels": dict(key)}
+            entry: Dict[str, Any] = {"labels": dict(key)}
             entry.update(child.sample())
             rendered.append(entry)
         return rendered

@@ -31,7 +31,8 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
 
 __all__ = [
     "Span",
@@ -49,7 +50,7 @@ __all__ = [
 ]
 
 _lock = threading.Lock()
-_writer: Optional[Any] = None
+_writer: Optional[TextIO] = None
 _writer_path: Optional[str] = None
 _writer_pid: int = -1
 _next_span_id = 0
@@ -119,7 +120,12 @@ class Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.duration_s = time.perf_counter() - self._t0
         stack = _stack()
         if stack and stack[-1] is self:
@@ -143,14 +149,19 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
 _NOOP = _NoopSpan()
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> Union[Span, "_NoopSpan"]:
     """A context manager timing *name*; no-op unless tracing is enabled."""
     if not _enabled:
         return _NOOP
@@ -268,7 +279,12 @@ class collect:
         _refresh_enabled()
         return self.collector
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         global _collector_count
         collectors = _collectors()
         if self.collector in collectors:

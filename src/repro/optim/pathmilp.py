@@ -326,7 +326,7 @@ def solve_path_milp(
     for pair in pairs:
         best_position = max(
             range(len(candidates[pair])),
-            key=lambda position: solution[path_var_offset[(pair, position)]],
+            key=lambda position, pair=pair: solution[path_var_offset[(pair, position)]],
         )
         chosen[pair] = candidates[pair][best_position]
     routing = RoutingTable(chosen, name=solver_name)

@@ -98,7 +98,7 @@ def network_power(
         active = set(active_nodes)
         unknown = active - set(topology.nodes())
         if unknown:
-            raise TopologyError(f"active node does not exist in topology: {sorted(unknown)[0]}")
+            raise TopologyError(f"active node does not exist in topology: {min(unknown)}")
         active |= {
             name for name in topology.nodes() if topology.node(name).always_powered
         }

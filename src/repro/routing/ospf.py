@@ -64,7 +64,7 @@ def ospf_invcap_routing(
     # cheaper than one Dijkstra per pair on large pair sets.
     origins = {origin for origin, _ in selected}
     paths_by_origin: Dict[str, Dict[str, list]] = {}
-    for origin in origins:
+    for origin in sorted(origins):
         paths_by_origin[origin] = nx.single_source_dijkstra_path(
             graph, origin, weight=weight_attr
         )

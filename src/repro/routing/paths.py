@@ -56,7 +56,7 @@ class Path:
 
     def arc_keys(self) -> List[Tuple[str, str]]:
         """Directed ``(src, dst)`` arc keys traversed, in order."""
-        return list(zip(self.nodes, self.nodes[1:]))
+        return list(zip(self.nodes, self.nodes[1:], strict=False))
 
     def link_keys(self) -> List[Tuple[str, str]]:
         """Canonical undirected link keys traversed, in order."""

@@ -491,7 +491,7 @@ def run_built_scenarios_batch(builts: Sequence[BuiltScenario]) -> List[ScenarioR
             )
     with trace.span("timeline.run", group_size=len(builts)):
         runs = run_timeline_batch(builts)
-    return [_result_from_run(built, run) for built, run in zip(builts, runs)]
+    return [_result_from_run(built, run) for built, run in zip(builts, runs, strict=True)]
 
 
 def scheme_outcomes(built: BuiltScenario) -> Dict[str, SchemeOutcome]:

@@ -701,8 +701,13 @@ def _step_scheme(
 ) -> None:
     """Advance one scheme by one timeline step, collecting its records."""
     with trace.span("scheme.step", scheme=label, interval=step.index) as step_span:
+        # compute_seconds is the paper's recomputation-latency proxy: a
+        # deliberate wall-clock measurement that never feeds results —
+        # canonical_dump strips it (pinned by the identity batteries).
+        # repro: allow[REP101] compute_seconds latency proxy, stripped from canonical dumps
         started = time.perf_counter()
         outcome = runtime.step(state, step.time_s, step.matrix, step.view)
+        # repro: allow[REP101] compute_seconds latency proxy, stripped from canonical dumps
         outcome.compute_seconds = time.perf_counter() - started
         step_span.set(recomputed=outcome.recomputed)
     outcomes.append(outcome)

@@ -114,7 +114,7 @@ class JobManager:
         """
         spec = request.spec
         points = spec.expand()
-        with CampaignStore(self.store_path) as store:
+        with CampaignStore(self.store_path, read_only=False) as store:
             campaign_id = store.register_campaign(spec, points)
             store.adopt_existing_results(campaign_id)
             store.reset_error_points(campaign_id)

@@ -336,7 +336,7 @@ def batch_max_min_fair_rates(
         )
         # Freeze demand-satisfied flows and flows on exhausted arcs, only
         # for elements still filling.
-        active_before = active.sum(axis=1)
+        active_before = np.count_nonzero(active, axis=1)
         active = np.where(alive[:, None], active & (pending > DEMAND_EPSILON), active)
         if flat_arc.size:
             exhausted = crossed_at_all[None, :] & (capacity <= CAPACITY_EPSILON)
@@ -345,7 +345,7 @@ def batch_max_min_fair_rates(
                 deactivate = np.zeros((batch, num_flows), dtype=bool)
                 np.logical_or.at(deactivate, (slice(None), flat_flow), kill)
                 active &= ~deactivate
-        active_after = active.sum(axis=1)
+        active_after = np.count_nonzero(active, axis=1)
         if frozen_trace is not None:
             frozen_trace.append(int(active_before.sum() - active_after.sum()))
         # Same zero-step rule as the serial loop: a zero step that froze
@@ -578,13 +578,13 @@ def batch_max_min_fair_rates_sparse(
         capacity = np.where(
             alive[:, None], capacity - step[:, None] * counts, capacity
         )
-        active_before = active.sum(axis=1)
+        active_before = np.count_nonzero(active, axis=1)
         active = np.where(alive[:, None], active & (pending > DEMAND_EPSILON), active)
         exhausted = crossed_at_all[None, :] & (capacity <= CAPACITY_EPSILON)
         if exhausted.any():
             kill = incidence.batch_flows_touching(exhausted) & alive[:, None]
             active &= ~kill
-        active_after = active.sum(axis=1)
+        active_after = np.count_nonzero(active, axis=1)
         if frozen_trace is not None:
             frozen_trace.append(int(active_before.sum() - active_after.sum()))
         no_progress = (step <= STEP_EPSILON) & (active_after == active_before)

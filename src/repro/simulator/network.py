@@ -218,7 +218,7 @@ class SimulatedNetwork:
         routable = [flows[index] for index in entry.routable_indices]
         demands = offered_load_vector(routable, now_s)
         allocation = self._run_fair_kernel(demands, entry)
-        for flow, rate in zip(routable, allocation):
+        for flow, rate in zip(routable, allocation, strict=True):
             flow.rate_bps = float(rate)
         if entry.flat_arc.size:
             self._arc_load_vec += np.bincount(
@@ -434,6 +434,7 @@ class SimulatedNetwork:
             key for key, simulated in self._links.items() if simulated.consumes_power
         }
         active_nodes: Set[str] = set()
+        # repro: allow[REP104] pure set union; the result is itself a set
         for u, v in active_links:
             active_nodes.add(u)
             active_nodes.add(v)

@@ -438,7 +438,7 @@ class Topology:
         """Sum of per-arc propagation latencies along a node path."""
         nodes = list(path)
         total = 0.0
-        for src, dst in zip(nodes, nodes[1:]):
+        for src, dst in zip(nodes, nodes[1:], strict=False):
             total += self.arc(src, dst).latency_s
         return total
 
@@ -447,7 +447,10 @@ class Topology:
         nodes = list(path)
         if len(nodes) < 2:
             return float("inf")
-        return min(self.arc(src, dst).capacity_bps for src, dst in zip(nodes, nodes[1:]))
+        return min(
+            self.arc(src, dst).capacity_bps
+            for src, dst in zip(nodes, nodes[1:], strict=False)
+        )
 
     def validate_path(self, path: Iterable[str]) -> bool:
         """Whether every consecutive pair in *path* is an existing arc."""
@@ -456,7 +459,7 @@ class Topology:
             return False
         if any(node not in self._nodes for node in nodes):
             return False
-        return all(self.has_arc(src, dst) for src, dst in zip(nodes, nodes[1:]))
+        return all(self.has_arc(src, dst) for src, dst in zip(nodes, nodes[1:], strict=False))
 
     # ------------------------------------------------------------------ #
     # Derived topologies
@@ -498,7 +501,7 @@ class Topology:
         active_node_set = set(active_nodes)
         unknown = active_node_set - set(self._nodes)
         if unknown:
-            raise UnknownNodeError(sorted(unknown)[0])
+            raise UnknownNodeError(min(unknown))
         keep_links = (
             None
             if active_links is None

@@ -114,7 +114,7 @@ def waxman_topology(
     positions = nx.get_node_attributes(graph, "pos")
     # Repair connectivity by linking consecutive components.
     components = [sorted(c) for c in nx.connected_components(graph)]
-    for first, second in zip(components, components[1:]):
+    for first, second in zip(components, components[1:], strict=False):
         graph.add_edge(first[0], second[0])
     topo = Topology(name=name)
     for node in graph.nodes:

@@ -63,7 +63,9 @@ def aggregation_map(
     topology: Topology, nodes: Iterable[str], level: str
 ) -> Dict[str, str]:
     """``node -> nearest ancestor at level`` for every listed node."""
-    return {node: nearest_ancestor(topology, node, level) for node in set(nodes)}
+    return {
+        node: nearest_ancestor(topology, node, level) for node in sorted(set(nodes))
+    }
 
 
 def aggregate_matrix(

@@ -147,7 +147,7 @@ def generate_geant_trace(
         weights = weights / weights.sum()
         total = peak_total_bps * level
         demands: Dict[Pair, float] = {
-            pair: float(total * weight) for pair, weight in zip(pair_list, weights)
+            pair: float(total * weight) for pair, weight in zip(pair_list, weights, strict=True)
         }
         matrices.append(TrafficMatrix(demands, name=f"geant-{index}"))
 

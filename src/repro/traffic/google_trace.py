@@ -137,7 +137,7 @@ def google_trace(
         weights = np.exp(log_weights)
         weights = weights / weights.sum()
         demands = {
-            pair: float(volume * weight) for pair, weight in zip(pair_list, weights)
+            pair: float(volume * weight) for pair, weight in zip(pair_list, weights, strict=True)
         }
         matrices.append(TrafficMatrix(demands, name=f"google-{index}"))
     return TrafficTrace(matrices, interval_s=interval_s, name=f"google-{num_days}d")

@@ -55,7 +55,7 @@ def _near_pairs(topology: Topology, rng: np.random.Generator) -> List[Pair]:
     for pod_hosts in by_pod.values():
         shuffled = list(pod_hosts)
         rng.shuffle(shuffled)
-        for source, destination in zip(shuffled, shuffled[1:] + shuffled[:1]):
+        for source, destination in zip(shuffled, shuffled[1:] + shuffled[:1], strict=True):
             if source != destination:
                 pairs.append((source, destination))
     return pairs

@@ -1,0 +1,9 @@
+# lint-as: src/repro/scenario/latency.py
+"""REP101 fixture: an intentional, documented clock read."""
+import time
+
+
+def measure():
+    # repro: allow[REP101] compute-latency proxy, stripped from canonical dumps
+    t0 = time.perf_counter()  # expect-suppressed: REP101
+    return t0

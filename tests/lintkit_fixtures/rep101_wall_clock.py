@@ -1,0 +1,16 @@
+# lint-as: src/repro/simulator/clockuser.py
+"""REP101 fixture: wall-clock reads in deterministic engine code."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # expect: REP101
+    mono = time.perf_counter()  # expect: REP101
+    today = datetime.now()  # expect: REP101
+    return started, mono, today
+
+
+def clean(duration_s):
+    # Arithmetic on a passed-in duration is fine; only clock *reads* trip.
+    return duration_s * 2.0

@@ -1,0 +1,18 @@
+# lint-as: src/repro/traffic/jitter.py
+"""REP102 fixture: unseeded randomness in engine code."""
+import random
+
+import numpy as np
+
+
+def noisy():
+    a = random.random()  # expect: REP102
+    b = np.random.rand(3)  # expect: REP102
+    rng = np.random.default_rng()  # expect: REP102
+    return a, b, rng
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    explicit = random.Random(seed)
+    return rng, explicit

@@ -1,0 +1,8 @@
+# lint-as: src/repro/traffic/shuffle.py
+"""REP102 fixture: a documented non-result random draw."""
+import random
+
+
+def salt():
+    # repro: allow[REP102] temp-file name salt; never feeds results
+    return random.random()  # expect-suppressed: REP102

@@ -1,0 +1,10 @@
+# lint-as: src/repro/simulator/fairness.py
+"""REP103 fixture: raw sums on the ordered-reduction hot path."""
+import numpy as np
+
+
+def reductions(rates, active):
+    total = np.sum(rates)  # expect: REP103
+    level = rates.sum()  # expect: REP103
+    count = int(active.sum())
+    return total, level, count

@@ -1,0 +1,6 @@
+# lint-as: src/repro/simulator/flows.py
+"""REP103 scope fixture: raw sums are fine off the ordered hot path."""
+
+
+def offered_load(demands):
+    return demands.sum()

@@ -1,0 +1,8 @@
+# lint-as: src/repro/routing/mcf.py
+"""REP103 fixture: a documented diagnostic-only reduction."""
+import numpy as np
+
+
+def debug_total(weights):
+    # repro: allow[REP103] diagnostic log line only; never feeds results
+    return np.sum(weights)  # expect-suppressed: REP103

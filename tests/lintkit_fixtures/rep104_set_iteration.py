@@ -1,0 +1,15 @@
+# lint-as: src/repro/routing/origins.py
+"""REP104 fixture: iterating unordered sets in engine code."""
+
+
+def spread(nodes, extras):
+    origins = {node for node in nodes}
+    merged = origins | set(extras)
+    for origin in merged:  # expect: REP104
+        yield origin
+    for literal in {"a", "b"}:  # expect: REP104
+        yield literal
+    names = [name for name in set(nodes)]  # expect: REP104
+    for ordered in sorted(merged):
+        yield ordered
+    yield from names

@@ -1,0 +1,12 @@
+# lint-as: src/repro/topology/prune.py
+"""REP104 fixture: set iteration whose result is itself a set."""
+
+
+def endpoints(links):
+    pairs = {(u, v) for (u, v) in links}
+    nodes = set()
+    # repro: allow[REP104] result is itself a set; order cannot leak
+    for u, v in pairs:  # expect-suppressed: REP104
+        nodes.add(u)
+        nodes.add(v)
+    return nodes

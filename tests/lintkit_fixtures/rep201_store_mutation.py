@@ -1,0 +1,19 @@
+# lint-as: src/repro/campaign/storeops.py
+"""REP201 fixture: store mutations outside the transaction helper."""
+
+
+class Store:
+    def rogue(self):
+        self.connection.execute("INSERT INTO points VALUES (1)")  # expect: REP201
+
+    def persist(self, record):
+        with self.transaction() as connection:
+            connection.execute("UPDATE points SET state = ?", (record,))
+
+    def read(self):
+        return self.connection.execute("SELECT state FROM points").fetchall()
+
+
+def helper(connection, rows):
+    # Receives the connection: the caller owns the BEGIN IMMEDIATE block.
+    connection.executemany("INSERT INTO points VALUES (?)", rows)

@@ -1,0 +1,8 @@
+# lint-as: src/repro/campaign/migrate.py
+"""REP201 fixture: a documented one-shot schema bootstrap."""
+
+
+class Migrations:
+    def bootstrap(self):
+        # repro: allow[REP201] one-shot bootstrap on a fresh private database
+        self.connection.executescript("UPDATE meta SET version = 2")  # expect-suppressed: REP201

@@ -1,0 +1,13 @@
+# lint-as: src/repro/campaign/status.py
+"""REP202 fixture: CampaignStore opened without explicit intent."""
+from repro.campaign.store import CampaignStore
+
+
+def implicit(path):
+    return CampaignStore(path)  # expect: REP202
+
+
+def explicit(path):
+    reader = CampaignStore(path, read_only=True)
+    writer = CampaignStore(path, read_only=False)
+    return reader, writer

@@ -1,0 +1,8 @@
+# lint-as: src/repro/campaign/compat.py
+"""REP202 fixture: a documented back-compat open."""
+from repro.campaign.store import CampaignStore
+
+
+def legacy_open(path):
+    # repro: allow[REP202] back-compat shim; callers predate the intent flag
+    return CampaignStore(path)  # expect-suppressed: REP202

@@ -1,0 +1,15 @@
+# lint-as: src/repro/service/handlers.py
+"""REP301 fixture: interpolated metric label values."""
+from repro.obs import metrics
+
+REQUESTS = metrics.counter("svc_requests_total")
+
+
+def record(campaign_id, route):
+    REQUESTS.labels(route=f"/campaigns/{campaign_id}").inc()  # expect: REP301
+    REQUESTS.labels(route="/campaigns").inc()
+    REQUESTS.labels(route=route_class(route)).inc()
+
+
+def route_class(route):
+    return "/campaigns/{id}" if route.startswith("/campaigns/") else route

@@ -1,0 +1,10 @@
+# lint-as: src/repro/service/stats.py
+"""REP301 fixture: an interpolated label over a provably closed set."""
+from repro.obs import metrics
+
+HITS = metrics.counter("stats_hits_total")
+
+
+def bounded(shard):
+    # repro: allow[REP301] shard ids are a closed 4-element set
+    HITS.labels(shard=f"shard-{shard}").inc()  # expect-suppressed: REP301

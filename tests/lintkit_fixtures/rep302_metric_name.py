@@ -1,0 +1,10 @@
+# lint-as: src/repro/power/meters.py
+"""REP302 fixture: dynamically built metric names."""
+from repro.obs import metrics
+
+STATIC = metrics.counter("power_updates_total", "Power model updates")
+
+
+def dynamic(variant):
+    name = "power_" + variant + "_total"
+    return metrics.counter(name)  # expect: REP302

@@ -1,0 +1,10 @@
+# lint-as: src/repro/power/meters_compat.py
+"""REP302 fixture: a documented dynamic family for a fixed variant set."""
+from repro.obs import metrics
+
+VARIANTS = ("always_on", "response")
+
+
+def per_variant(variant):
+    # repro: allow[REP302] variant names are the fixed 2-element tuple above
+    return metrics.counter("power_" + variant + "_total")  # expect-suppressed: REP302

@@ -1,0 +1,19 @@
+# lint-as: src/repro/core/planner.py
+"""REP303 fixture: span() must be the context-manager expression."""
+from repro.obs import trace
+from repro.obs.trace import span
+
+
+def plan(topology):
+    held = trace.span("core.plan")  # expect: REP303
+    with held:
+        pass
+    with trace.span("core.plan", nodes=len(topology)):
+        pass
+    with span("core.plan.inner"):
+        pass
+    return leak()
+
+
+def leak():
+    return span("core.leak")  # expect: REP303

@@ -1,0 +1,9 @@
+# lint-as: src/repro/campaign/profiled.py
+"""REP303 fixture: a documented span-object hand-off."""
+from repro.obs import trace
+
+
+def probe():
+    # repro: allow[REP303] microbenchmark reuses one span deliberately
+    held = trace.span("campaign.probe")  # expect-suppressed: REP303
+    return held

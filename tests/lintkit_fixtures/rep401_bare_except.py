@@ -1,0 +1,23 @@
+# lint-as: src/repro/campaign/lease.py
+"""REP401 fixture: bare excepts in worker loops."""
+
+
+def renew(lease):
+    try:
+        lease.renew()
+    except:  # expect: REP401, REP402
+        pass
+
+
+def heartbeat(lease, log):
+    try:
+        lease.renew()
+    except:  # expect: REP401
+        log.warning("renew failed")
+
+
+def typed(lease, log):
+    try:
+        lease.renew()
+    except OSError:
+        log.warning("renew failed")

@@ -1,0 +1,11 @@
+# lint-as: src/repro/service/shutdown.py
+"""REP401 fixture: documented swallow-everything on interpreter teardown."""
+
+
+def close_all(sockets):
+    for sock in sockets:
+        try:
+            sock.close()
+        # repro: allow[REP401, REP402] interpreter teardown; nowhere to record
+        except:  # expect-suppressed: REP401, REP402
+            pass

@@ -1,0 +1,18 @@
+# lint-as: src/repro/service/loop.py
+"""REP402 fixture: silently swallowed broad exceptions."""
+
+
+def drain(points, log):
+    for point in points:
+        try:
+            point.run()
+        except Exception:  # expect: REP402
+            continue
+    try:
+        points.flush()
+    except (ValueError, Exception):  # expect: REP402
+        pass
+    try:
+        points.close()
+    except Exception as error:
+        log.error("close failed: %s", error)

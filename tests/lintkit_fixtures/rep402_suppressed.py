@@ -1,0 +1,10 @@
+# lint-as: src/repro/service/closers.py
+"""REP402 fixture: a documented best-effort close."""
+
+
+def best_effort_close(handle):
+    try:
+        handle.close()
+    # repro: allow[REP402] best-effort close on shutdown; nothing to record
+    except Exception:  # expect-suppressed: REP402
+        pass

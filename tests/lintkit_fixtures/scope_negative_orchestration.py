@@ -1,0 +1,8 @@
+# lint-as: src/repro/campaign/timing.py
+"""Scope fixture: orchestration layers may read clocks and draw entropy."""
+import random
+import time
+
+
+def stamp():
+    return time.time(), random.random()

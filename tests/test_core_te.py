@@ -96,8 +96,8 @@ def test_te_recovers_from_always_on_failure(click, cisco_model):
     times = result.times()
     rates = result.series("total_rate_bps")
     # Rate drops right after the failure but recovers within ~0.2 s.
-    during = [rate for time, rate in zip(times, rates) if 1.02 <= time <= 1.08]
-    after = [rate for time, rate in zip(times, rates) if time >= 1.5]
+    during = [rate for time, rate in zip(times, rates, strict=True) if 1.02 <= time <= 1.08]
+    after = [rate for time, rate in zip(times, rates, strict=True) if time >= 1.5]
     assert min(during) == 0.0
     assert after[-1] == pytest.approx(4 * mbps(1), rel=0.01)
     assert all(controller.table_index_of(flow) > 0 for flow in flows)

@@ -183,7 +183,7 @@ def test_max_min_allocation_respects_capacity_and_demand(topology, demands):
     for flow in flows:
         assert flow.rate_bps <= flow.offered_load(0.0) + 1e-6
         assert flow.rate_bps >= 0.0
-    for src, dst in zip(path_nodes, path_nodes[1:]):
+    for src, dst in zip(path_nodes, path_nodes[1:], strict=False):
         assert network.arc_load(src, dst) <= topology.arc(src, dst).capacity_bps + 1e-3
 
 
@@ -462,7 +462,7 @@ def test_grouped_fairness_matches_expanded_dense(problem):
     # Expand the group incidence to one entry per member flow and run the
     # dense per-flow kernel on it: the equivalence contract is bit-for-bit.
     arcs_of_group = [[] for _ in range(num_groups)]
-    for group, arc in zip(flat_group, flat_arc):
+    for group, arc in zip(flat_group, flat_arc, strict=True):
         arcs_of_group[group].append(arc)
     expanded_flow = np.array(
         [

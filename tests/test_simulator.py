@@ -173,8 +173,8 @@ def test_engine_applies_scheduled_failures(diamond, cisco_model):
     result = engine.run(duration_s=2.0)
     rates = result.flow_rate_series("f1")
     times = result.times()
-    failed_window = [rate for time, rate in zip(times, rates) if 0.6 <= time <= 1.4]
-    recovered = [rate for time, rate in zip(times, rates) if time >= 1.6]
+    failed_window = [rate for time, rate in zip(times, rates, strict=True) if 0.6 <= time <= 1.4]
+    recovered = [rate for time, rate in zip(times, rates, strict=True) if time >= 1.6]
     assert all(rate == 0.0 for rate in failed_window)
     assert recovered[-1] == pytest.approx(mbps(10))
     assert len(result.arc_load_series("a", "b")) == len(times)

@@ -31,7 +31,7 @@ def line_topology(*names, capacity=1e9):
     topo = Topology("line")
     for name in names:
         topo.add_node(name)
-    for u, v in zip(names, names[1:]):
+    for u, v in zip(names, names[1:], strict=False):
         topo.add_link(u, v, capacity_bps=capacity)
     return topo
 
